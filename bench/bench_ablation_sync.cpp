@@ -1,0 +1,73 @@
+// Ablation A1: the value of "inherent synchronization".
+//
+// In the paper's architecture the modulating square waves, the sigma-delta
+// clock and the stimulus all derive from ONE master clock, so N = 96 and
+// the evaluation windows hold an exact integer number of signal periods at
+// every frequency.  This bench breaks that property on purpose: the
+// stimulus frequency is detuned from the evaluation grid by delta_f/f (as
+// would happen with an independent stimulus oscillator), and the
+// measurement error is recorded.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "eval/evaluator.hpp"
+
+namespace {
+
+double measure_detuned(double relative_detune, std::size_t periods) {
+    using namespace bistna;
+    const double amplitude = 0.2;
+    const double f_norm = (1.0 + relative_detune) / 96.0;
+    eval::evaluator_config config;
+    config.modulator = sd::modulator_params::ideal();
+    config.offset = eval::offset_mode::none;
+    eval::sinewave_evaluator evaluator(config);
+    const auto m = evaluator.measure_harmonic(
+        [=](std::size_t n) {
+            return amplitude * std::sin(two_pi * f_norm * static_cast<double>(n) + 0.7);
+        },
+        1, periods);
+    return m.amplitude.dbfs - amplitude_to_dbfs(amplitude, eval::full_scale_reference);
+}
+
+} // namespace
+
+int main() {
+    using namespace bistna;
+
+    bench::banner("Ablation A1 -- inherent synchronization (N fixed by construction)",
+                  "detune the stimulus from the master-clock grid and watch the error");
+
+    ascii_table table({"stimulus detune (ppm of f_wave)", "error, M=50 (dB)",
+                       "error, M=200 (dB)", "error, M=1000 (dB)"});
+    csv_writer csv("ablation_sync.csv");
+    csv.header({"detune_ppm", "err_m50_db", "err_m200_db", "err_m1000_db"});
+    for (double ppm : {0.0, 10.0, 100.0, 1000.0, 10000.0}) {
+        const double detune = ppm * 1e-6;
+        const double e50 = measure_detuned(detune, 50);
+        const double e200 = measure_detuned(detune, 200);
+        const double e1000 = measure_detuned(detune, 1000);
+        table.add_row({format_fixed(ppm, 0), format_fixed(e50, 3), format_fixed(e200, 3),
+                       format_fixed(e1000, 3)});
+        csv.row({ppm, e50, e200, e1000});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    bench::verdict("synchronized (0 ppm) error at M = 1000 (dB)", 0.0,
+                   std::abs(measure_detuned(0.0, 1000)), 0.02);
+    bench::footnote(
+        "With the shared master clock (0 ppm row) the error is just the\n"
+        "eps/MN quantization floor at every M.  An unsynchronized stimulus\n"
+        "leaks through the square-wave correlation: at 1 % detune the error\n"
+        "grows with M instead of shrinking -- longer evaluation makes it\n"
+        "WORSE.  This is exactly why the paper derives both f_wave and the\n"
+        "modulator clock from one master clock (\"the oversampling ratio\n"
+        "keeps constant when sweeping the master clock\").  CSV: ablation_sync.csv");
+    return 0;
+}

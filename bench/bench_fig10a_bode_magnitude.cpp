@@ -1,0 +1,63 @@
+// Fig. 10a reproduction: Bode magnitude of the demonstrator DUT
+// (active-RC 2nd-order low-pass, fc = 1 kHz) measured by the full network
+// analyzer with M = 200 periods, including the eq. (4) error band.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/network_analyzer.hpp"
+#include "core/sweep.hpp"
+#include "dut/filters.hpp"
+
+int main() {
+    using namespace bistna;
+
+    bench::banner("Fig. 10a -- Bode magnitude of the 1 kHz active-RC LPF",
+                  "full board, M = 200 periods, error band from eq. (4)");
+
+    core::demonstrator_board board(gen::generator_params::ideal(),
+                                   dut::make_paper_dut(0.01, 7));
+    board.set_amplitude(millivolt(150.0));
+
+    core::analyzer_settings settings;
+    settings.periods = 200;
+    settings.evaluator.modulator = sd::modulator_params::cmos035();
+    settings.evaluator.offset = eval::offset_mode::calibrated;
+    core::network_analyzer analyzer(board, settings);
+
+    const auto frequencies = core::log_spaced(hertz{100.0}, hertz{100000.0}, 21);
+    const auto points = analyzer.bode_sweep(frequencies);
+
+    ascii_table table({"f (Hz)", "measured (dB)", "band lo", "band hi", "true (dB)",
+                       "band width (dB)"});
+    csv_writer csv("fig10a_bode_magnitude.csv");
+    csv.header({"f_hz", "gain_db", "band_lo_db", "band_hi_db", "ideal_gain_db"});
+    double worst_passband_error = 0.0;
+    for (const auto& p : points) {
+        table.add_row({format_fixed(p.f_wave.value, 0), format_fixed(p.gain_db, 2),
+                       format_fixed(p.gain_db_bounds.lo(), 2),
+                       format_fixed(p.gain_db_bounds.hi(), 2),
+                       format_fixed(p.ideal_gain_db, 2),
+                       format_fixed(p.gain_db_bounds.width(), 2)});
+        csv.row({p.f_wave.value, p.gain_db, p.gain_db_bounds.lo(), p.gain_db_bounds.hi(),
+                 p.ideal_gain_db});
+        if (p.f_wave.value <= 1000.0) {
+            worst_passband_error =
+                std::max(worst_passband_error, std::abs(p.gain_db - p.ideal_gain_db));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    bench::verdict("worst passband |error| (dB, f <= fc)", 0.0, worst_passband_error, 0.3);
+    const auto& deep = points.back();
+    std::cout << "  deepest point: " << format_fixed(deep.gain_db, 1) << " dB at "
+              << format_fixed(deep.f_wave.value, 0) << " Hz, band width "
+              << format_fixed(deep.gain_db_bounds.width(), 1)
+              << " dB -- \"the relative error increases as the response magnitude\n"
+                 "  decreases\" (paper), recoverable by increasing M.\n";
+    bench::footnote("Sweep written to fig10a_bode_magnitude.csv.");
+    return 0;
+}

@@ -1,0 +1,117 @@
+// A5: throughput of the simulation kernels (google-benchmark).
+//
+// The simulator's cost model: one master-clock sample = 1 modulator step
+// x2 (matched pair) + 1/6 generator step + 1 DUT state-space step.  These
+// micro-benchmarks size experiment runtimes (e.g. Fig. 9's 25 x 96k-sample
+// runs) and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "core/board.hpp"
+#include "dsp/fft.hpp"
+#include "dut/filters.hpp"
+#include "eval/signature.hpp"
+#include "gen/generator.hpp"
+#include "linalg/expm.hpp"
+#include "sd/modulator.hpp"
+
+namespace {
+
+using namespace bistna;
+
+void bm_modulator_step(benchmark::State& state) {
+    sd::sd_modulator mod(sd::modulator_params::cmos035(), rng(1));
+    std::size_t n = 0;
+    for (auto _ : state) {
+        const double x = 0.3 * std::sin(two_pi * static_cast<double>(n++) / 96.0);
+        benchmark::DoNotOptimize(mod.step(x, (n % 96) < 48));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_modulator_step);
+
+void bm_generator_step(benchmark::State& state) {
+    gen::generator_params params;
+    gen::sinewave_generator generator(params);
+    generator.set_amplitude(millivolt(150.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generator.step());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_generator_step);
+
+void bm_dut_state_space_step(benchmark::State& state) {
+    auto device = dut::make_paper_dut(0.01, 7);
+    device->prepare(96000.0);
+    std::size_t n = 0;
+    for (auto _ : state) {
+        const double u = 0.3 * std::sin(two_pi * static_cast<double>(n++) / 96.0);
+        benchmark::DoNotOptimize(device->process(u));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_dut_state_space_step);
+
+void bm_board_render_period(benchmark::State& state) {
+    core::demonstrator_board board(gen::generator_params::ideal(),
+                                   dut::make_paper_dut(0.01, 7));
+    board.set_amplitude(millivolt(150.0));
+    const auto tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            board.render(tb, 1, core::signal_path::through_dut, 0));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 96);
+}
+BENCHMARK(bm_board_render_period);
+
+void bm_signature_acquisition(benchmark::State& state) {
+    const auto periods = static_cast<std::size_t>(state.range(0));
+    eval::signature_extractor extractor(sd::modulator_params::ideal(), 3);
+    eval::acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.periods = periods;
+    settings.offset = eval::offset_mode::none;
+    const auto source = [](std::size_t n) {
+        return 0.2 * std::sin(two_pi * static_cast<double>(n) / 96.0);
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(extractor.acquire(source, settings));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(periods * 96));
+}
+BENCHMARK(bm_signature_acquisition)->Arg(20)->Arg(200);
+
+void bm_fft(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<dsp::cplx> data(n);
+    rng generator(5);
+    for (auto& x : data) {
+        x = dsp::cplx(generator.uniform(-1, 1), 0.0);
+    }
+    for (auto _ : state) {
+        auto copy = data;
+        dsp::fft_inplace(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(bm_fft)->Arg(1 << 10)->Arg(1 << 14);
+
+void bm_expm_discretize(benchmark::State& state) {
+    const auto tf = dut::butterworth_lowpass2(1000.0);
+    const auto ss_template = dut::state_space::from_transfer_function(tf);
+    for (auto _ : state) {
+        auto ss = ss_template;
+        ss.prepare(96000.0);
+        benchmark::DoNotOptimize(ss.step(1.0));
+    }
+}
+BENCHMARK(bm_expm_discretize);
+
+} // namespace

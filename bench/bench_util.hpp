@@ -1,0 +1,28 @@
+// Shared reporting helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace bistna::bench {
+
+inline void banner(const std::string& experiment, const std::string& description) {
+    std::cout << "================================================================\n"
+              << experiment << "\n"
+              << description << "\n"
+              << "================================================================\n";
+}
+
+inline void footnote(const std::string& text) { std::cout << "\n" << text << "\n\n"; }
+
+/// "shape holds" verdict line: |measured - paper| within a stated window.
+inline void verdict(const std::string& quantity, double paper, double measured,
+                    double window) {
+    const double delta = measured - paper;
+    const bool ok = delta <= window && delta >= -window;
+    std::cout << "  " << quantity << ": paper " << paper << ", measured " << measured
+              << " (delta " << delta << ", window +/-" << window << ") -> "
+              << (ok ? "SHAPE HOLDS" : "MISMATCH") << "\n";
+}
+
+} // namespace bistna::bench

@@ -1,0 +1,24 @@
+#include "ate/capture.hpp"
+
+namespace bistna::ate {
+
+std::vector<double> capture_waveform(const eval::sample_source& source, std::size_t count) {
+    std::vector<double> record;
+    record.reserve(count);
+    for (std::size_t n = 0; n < count; ++n) {
+        record.push_back(source(n));
+    }
+    return record;
+}
+
+std::vector<int> capture_bitstream(sd::sd_modulator& modulator,
+                                   const eval::sample_source& source, std::size_t count) {
+    std::vector<int> bits;
+    bits.reserve(count);
+    for (std::size_t n = 0; n < count; ++n) {
+        bits.push_back(modulator.step(source(n), true));
+    }
+    return bits;
+}
+
+} // namespace bistna::ate

@@ -1,0 +1,24 @@
+// Digital acquisition (the ATE's bitstream-capture role in Fig. 7).
+//
+// Captures modulator bitstreams and board waveforms into memory for
+// off-chip processing -- exactly the split the paper uses: only the analog
+// part is integrated, the counters/DSP run on the tester.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eval/signature.hpp"
+#include "sd/modulator.hpp"
+
+namespace bistna::ate {
+
+/// Record a waveform from a sample source.
+std::vector<double> capture_waveform(const eval::sample_source& source, std::size_t count);
+
+/// Run a modulator over a source and capture the raw bitstream
+/// (q = always-positive; used by debugging flows and the decimation demo).
+std::vector<int> capture_bitstream(sd::sd_modulator& modulator,
+                                   const eval::sample_source& source, std::size_t count);
+
+} // namespace bistna::ate

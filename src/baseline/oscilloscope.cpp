@@ -1,0 +1,59 @@
+#include "baseline/oscilloscope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace bistna::baseline {
+
+oscilloscope_params oscilloscope_params::ideal() {
+    oscilloscope_params p;
+    p.adc_bits = 24;
+    p.noise_rms = 0.0;
+    return p;
+}
+
+oscilloscope::oscilloscope(oscilloscope_params params)
+    : params_(params), rng_(params.seed) {
+    BISTNA_EXPECTS(params.full_scale > 0.0, "scope full scale must be positive");
+    BISTNA_EXPECTS(params.adc_bits >= 2 && params.adc_bits <= 32, "unreasonable ADC width");
+}
+
+std::vector<double> oscilloscope::acquire(const eval::sample_source& source,
+                                          double sample_rate_hz) {
+    BISTNA_EXPECTS(sample_rate_hz > 0.0, "sample rate must be positive");
+    const double lsb =
+        2.0 * params_.full_scale / static_cast<double>(1ULL << params_.adc_bits);
+    std::vector<double> record;
+    record.reserve(params_.record_length);
+    for (std::size_t n = 0; n < params_.record_length; ++n) {
+        double v = source(n);
+        if (params_.noise_rms > 0.0) {
+            v += rng_.gaussian(0.0, params_.noise_rms);
+        }
+        v = std::clamp(v, -params_.full_scale, params_.full_scale);
+        record.push_back(std::round(v / lsb) * lsb);
+    }
+    return record;
+}
+
+scope_harmonics oscilloscope::measure_harmonics(const std::vector<double>& record,
+                                                double sample_rate_hz, double fundamental_hz,
+                                                std::size_t harmonics) const {
+    const auto metrics = dsp::analyze_tone(record, sample_rate_hz, fundamental_hz, harmonics,
+                                           params_.window);
+    scope_harmonics out;
+    out.fundamental_hz = metrics.fundamental_hz;
+    out.fundamental_amplitude = metrics.fundamental_amplitude;
+    out.thd_db = metrics.thd_db;
+    out.harmonic_dbc.reserve(metrics.harmonic_amplitudes.size());
+    for (double amplitude : metrics.harmonic_amplitudes) {
+        out.harmonic_dbc.push_back(
+            amplitude_ratio_to_db(amplitude / metrics.fundamental_amplitude));
+    }
+    return out;
+}
+
+} // namespace bistna::baseline

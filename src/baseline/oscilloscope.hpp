@@ -1,0 +1,55 @@
+// Digital-oscilloscope baseline (the LeCroy WaveSurfer 422 of Fig. 10c).
+//
+// A scope measures harmonics by FFT of an acquired record; this model adds
+// the front-end limits that matter at the -60 dB level: vertical quantizer
+// (8-bit typical), input-referred noise, and finite record length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/spectrum.hpp"
+#include "eval/signature.hpp"
+
+namespace bistna::baseline {
+
+struct oscilloscope_params {
+    double full_scale = 1.0;   ///< +/- volts vertical range
+    unsigned adc_bits = 8;     ///< vertical resolution
+    double noise_rms = 300e-6; ///< front-end noise (volts)
+    std::size_t record_length = 1 << 15;
+    dsp::window_kind window = dsp::window_kind::blackman_harris;
+    std::uint64_t seed = 99;
+
+    /// Ideal acquisition (no quantizer, no noise) for ground-truth checks.
+    static oscilloscope_params ideal();
+};
+
+/// Harmonic measurement produced by the scope's FFT math.
+struct scope_harmonics {
+    double fundamental_hz = 0.0;
+    double fundamental_amplitude = 0.0;
+    std::vector<double> harmonic_dbc; ///< H2.. relative to the fundamental (dB)
+    double thd_db = 0.0;
+};
+
+class oscilloscope {
+public:
+    explicit oscilloscope(oscilloscope_params params);
+
+    /// Digitize a record from a source sampled at sample_rate_hz.
+    std::vector<double> acquire(const eval::sample_source& source, double sample_rate_hz);
+
+    /// FFT harmonic readout of a (digitized) record.
+    scope_harmonics measure_harmonics(const std::vector<double>& record,
+                                      double sample_rate_hz, double fundamental_hz,
+                                      std::size_t harmonics = 5) const;
+
+    const oscilloscope_params& params() const noexcept { return params_; }
+
+private:
+    oscilloscope_params params_;
+    bistna::rng rng_;
+};
+
+} // namespace bistna::baseline

@@ -1,0 +1,67 @@
+#include "common/csv.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bistna {
+
+csv_writer::csv_writer(const std::string& path) : path_(path), out_(path) {
+    if (!out_) {
+        throw configuration_error("csv_writer: cannot open '" + path + "' for writing");
+    }
+}
+
+void csv_writer::header(std::initializer_list<std::string> names) {
+    header(std::vector<std::string>(names));
+}
+
+void csv_writer::header(const std::vector<std::string>& names) { write_cells(names); }
+
+void csv_writer::row(std::initializer_list<double> values) {
+    row(std::vector<double>(values));
+}
+
+void csv_writer::row(const std::vector<double>& values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream os;
+        os.precision(std::numeric_limits<double>::max_digits10);
+        os << v;
+        cells.push_back(os.str());
+    }
+    write_cells(cells);
+}
+
+void csv_writer::text_row(const std::vector<std::string>& cells) { write_cells(cells); }
+
+void csv_writer::write_cells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            out_ << ',';
+        }
+        out_ << csv_escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace bistna

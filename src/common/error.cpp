@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace bistna::detail {
+
+void throw_precondition(const char* condition, const char* file, int line,
+                        const std::string& message) {
+    std::ostringstream os;
+    os << "precondition failed: " << message << " [" << condition << "] at " << file << ':'
+       << line;
+    throw precondition_error(os.str());
+}
+
+} // namespace bistna::detail

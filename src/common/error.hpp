@@ -1,0 +1,40 @@
+// Contract-violation machinery for the bistna library.
+//
+// Following the C++ Core Guidelines (I.5/I.6: state and check preconditions,
+// I.10: use exceptions to signal failure), precondition violations throw
+// bistna::precondition_error carrying the failed condition and its location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bistna {
+
+/// Thrown when a documented precondition of a public API is violated.
+class precondition_error : public std::logic_error {
+public:
+    explicit precondition_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a configuration is internally inconsistent (e.g. a timing
+/// scheme that cannot be realized with the requested clock ratios).
+class configuration_error : public std::runtime_error {
+public:
+    explicit configuration_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* condition, const char* file, int line,
+                                     const std::string& message);
+} // namespace detail
+
+} // namespace bistna
+
+/// Check a precondition; throws bistna::precondition_error on failure.
+/// Usage: BISTNA_EXPECTS(m > 0, "number of periods must be positive");
+#define BISTNA_EXPECTS(cond, msg)                                                        \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::bistna::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg));      \
+        }                                                                                \
+    } while (false)

@@ -1,0 +1,129 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna {
+
+interval::interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    BISTNA_EXPECTS(lo <= hi, "interval endpoints must satisfy lo <= hi");
+}
+
+interval interval::from_unordered(double a, double b) {
+    return a <= b ? interval(a, b) : interval(b, a);
+}
+
+interval interval::centered(double center, double radius) {
+    BISTNA_EXPECTS(radius >= 0.0, "interval radius must be non-negative");
+    return interval(center - radius, center + radius);
+}
+
+interval interval::operator+(const interval& other) const {
+    return interval(lo_ + other.lo_, hi_ + other.hi_);
+}
+
+interval interval::operator-(const interval& other) const {
+    return interval(lo_ - other.hi_, hi_ - other.lo_);
+}
+
+interval interval::operator*(const interval& other) const {
+    const double p1 = lo_ * other.lo_;
+    const double p2 = lo_ * other.hi_;
+    const double p3 = hi_ * other.lo_;
+    const double p4 = hi_ * other.hi_;
+    return interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                    std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+interval interval::operator+(double x) const { return interval(lo_ + x, hi_ + x); }
+interval interval::operator-(double x) const { return interval(lo_ - x, hi_ - x); }
+
+interval interval::operator*(double k) const {
+    return k >= 0.0 ? interval(lo_ * k, hi_ * k) : interval(hi_ * k, lo_ * k);
+}
+
+interval interval::operator/(double k) const {
+    BISTNA_EXPECTS(k != 0.0, "division of interval by zero scalar");
+    return *this * (1.0 / k);
+}
+
+interval interval::operator-() const { return interval(-hi_, -lo_); }
+
+interval interval::operator/(const interval& divisor) const {
+    if (divisor.contains_zero()) {
+        throw configuration_error("interval quotient is unbounded: divisor contains zero");
+    }
+    return *this * interval(1.0 / divisor.hi_, 1.0 / divisor.lo_);
+}
+
+interval operator*(double k, const interval& iv) { return iv * k; }
+interval operator+(double x, const interval& iv) { return iv + x; }
+
+interval hull(const interval& a, const interval& b) {
+    return interval(std::min(a.lo(), b.lo()), std::max(a.hi(), b.hi()));
+}
+
+interval intersect(const interval& a, const interval& b) {
+    const double lo = std::max(a.lo(), b.lo());
+    const double hi = std::min(a.hi(), b.hi());
+    if (lo > hi) {
+        throw configuration_error("interval intersection is empty");
+    }
+    return interval(lo, hi);
+}
+
+interval sqrt(const interval& iv) {
+    BISTNA_EXPECTS(iv.lo() >= 0.0, "sqrt of interval requires non-negative lower bound");
+    return interval(std::sqrt(iv.lo()), std::sqrt(iv.hi()));
+}
+
+interval square(const interval& iv) {
+    const double a = iv.lo() * iv.lo();
+    const double b = iv.hi() * iv.hi();
+    if (iv.contains_zero()) {
+        return interval(0.0, std::max(a, b));
+    }
+    return interval::from_unordered(a, b);
+}
+
+interval hypot(const interval& a, const interval& b) {
+    // |.| is monotone in |a| and |b| separately, so the extrema of
+    // sqrt(a^2+b^2) over the box are attained at extrema of a^2 and b^2.
+    const interval a2 = square(a);
+    const interval b2 = square(b);
+    return interval(std::sqrt(a2.lo() + b2.lo()), std::sqrt(a2.hi() + b2.hi()));
+}
+
+interval atan(const interval& iv) { return interval(std::atan(iv.lo()), std::atan(iv.hi())); }
+
+interval atan2_box(const interval& sin_axis, const interval& cos_axis) {
+    if (sin_axis.contains_zero() && cos_axis.contains_zero()) {
+        throw configuration_error("atan2_box: uncertainty box encloses the origin; "
+                                  "phase is undetermined (increase M to shrink the box)");
+    }
+    const double corners_s[2] = {sin_axis.lo(), sin_axis.hi()};
+    const double corners_c[2] = {cos_axis.lo(), cos_axis.hi()};
+    // Hull of corner phases, unwrapped relative to the box-center phase so a
+    // box near the +/-pi seam does not blow up to the whole circle.
+    const double center = std::atan2(sin_axis.midpoint(), cos_axis.midpoint());
+    double lo = center;
+    double hi = center;
+    for (double s : corners_s) {
+        for (double c : corners_c) {
+            const double phase = unwrap_step(center, std::atan2(s, c));
+            lo = std::min(lo, phase);
+            hi = std::max(hi, phase);
+        }
+    }
+    return interval(lo, hi);
+}
+
+std::ostream& operator<<(std::ostream& os, const interval& iv) {
+    return os << '[' << iv.lo() << ", " << iv.hi() << ']';
+}
+
+} // namespace bistna

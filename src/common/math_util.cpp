@@ -1,0 +1,44 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+
+namespace bistna {
+
+double wrap_phase(double radians) noexcept {
+    double wrapped = std::remainder(radians, two_pi);
+    if (wrapped <= -pi) {
+        wrapped += two_pi;
+    }
+    return wrapped;
+}
+
+double unwrap_step(double previous_unwrapped, double wrapped) noexcept {
+    const double delta = wrap_phase(wrapped - previous_unwrapped);
+    return previous_unwrapped + delta;
+}
+
+double sinc(double x) noexcept {
+    if (std::abs(x) < 1e-12) {
+        return 1.0;
+    }
+    const double px = pi * x;
+    return std::sin(px) / px;
+}
+
+bool almost_equal(double a, double b, double abs_tol, double rel_tol) noexcept {
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return std::abs(a - b) <= abs_tol + rel_tol * scale;
+}
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+    if (n <= 1) {
+        return 1;
+    }
+    std::size_t p = 1;
+    while (p < n) {
+        p <<= 1U;
+    }
+    return p;
+}
+
+} // namespace bistna

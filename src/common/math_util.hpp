@@ -1,0 +1,44 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bistna {
+
+inline constexpr double pi = 3.14159265358979323846;
+inline constexpr double two_pi = 2.0 * pi;
+inline constexpr double half_pi = 0.5 * pi;
+
+/// Convert radians to degrees.
+constexpr double rad_to_deg(double radians) noexcept { return radians * (180.0 / pi); }
+
+/// Convert degrees to radians.
+constexpr double deg_to_rad(double degrees) noexcept { return degrees * (pi / 180.0); }
+
+/// Wrap a phase into (-pi, pi].
+double wrap_phase(double radians) noexcept;
+
+/// Unwrap a phase sequence in place so consecutive samples differ by < pi.
+/// Returns the unwrapped value given the previous unwrapped sample.
+double unwrap_step(double previous_unwrapped, double wrapped) noexcept;
+
+/// Normalized sinc: sinc(0) = 1, sinc(x) = sin(pi x)/(pi x).
+double sinc(double x) noexcept;
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool almost_equal(double a, double b, double abs_tol = 1e-12, double rel_tol = 1e-9) noexcept;
+
+/// Integer power of two check.
+constexpr bool is_power_of_two(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n must be nonzero and representable).
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// Linear interpolation between a and b.
+constexpr double lerp(double a, double b, double t) noexcept { return a + t * (b - a); }
+
+/// Square helper (clearer than std::pow(x, 2) in hot paths).
+constexpr double square(double x) noexcept { return x * x; }
+
+} // namespace bistna

@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace bistna {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+rng::rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+    // xoshiro must not start from the all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+std::uint64_t rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() noexcept {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t rng::uniform_int(std::uint64_t n) noexcept {
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) {
+            return r % n;
+        }
+    }
+}
+
+double rng::gaussian() noexcept {
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    cached_gaussian_ = radius * std::sin(two_pi * u2);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(two_pi * u2);
+}
+
+double rng::gaussian(double mean, double stddev) noexcept { return mean + stddev * gaussian(); }
+
+bool rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+rng rng::spawn() noexcept { return rng(next_u64()); }
+
+} // namespace bistna

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (kT/C noise, capacitor
+// mismatch, comparator offset, initial integrator states) draws from an
+// explicitly seeded generator so experiments are exactly reproducible.
+// The engine is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bistna {
+
+/// xoshiro256** engine with convenience distributions.
+class rng {
+public:
+    /// Seeded generator; the same seed always yields the same stream.
+    explicit rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /// Raw 64 random bits.
+    std::uint64_t next_u64() noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in [0, n); n must be > 0.
+    std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+    /// Standard normal deviate (Box-Muller with caching).
+    double gaussian() noexcept;
+
+    /// Normal deviate with the given mean and standard deviation.
+    double gaussian(double mean, double stddev) noexcept;
+
+    /// Bernoulli trial with probability p of returning true.
+    bool bernoulli(double p) noexcept;
+
+    /// Derive an independent child generator (for per-run streams).
+    rng spawn() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+} // namespace bistna

@@ -1,0 +1,85 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna {
+
+void running_stats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept {
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_stats::range() const noexcept { return count_ == 0 ? 0.0 : max_ - min_; }
+
+double percentile(std::vector<double> samples, double q) {
+    BISTNA_EXPECTS(!samples.empty(), "percentile of empty batch");
+    BISTNA_EXPECTS(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+    std::sort(samples.begin(), samples.end());
+    const double position = q * static_cast<double>(samples.size() - 1);
+    const auto lower = static_cast<std::size_t>(position);
+    const double fraction = position - static_cast<double>(lower);
+    if (lower + 1 >= samples.size()) {
+        return samples.back();
+    }
+    return samples[lower] + fraction * (samples[lower + 1] - samples[lower]);
+}
+
+summary summarize(std::vector<double> samples) {
+    BISTNA_EXPECTS(!samples.empty(), "summarize of empty batch");
+    running_stats stats;
+    for (double x : samples) {
+        stats.add(x);
+    }
+    summary result;
+    result.count = stats.count();
+    result.mean = stats.mean();
+    result.stddev = stats.stddev();
+    result.min = stats.min();
+    result.max = stats.max();
+    result.median = percentile(samples, 0.5);
+    result.p05 = percentile(samples, 0.05);
+    result.p95 = percentile(std::move(samples), 0.95);
+    return result;
+}
+
+double rms(const std::vector<double>& samples) noexcept {
+    if (samples.empty()) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (double x : samples) {
+        acc += x * x;
+    }
+    return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double peak_abs(const std::vector<double>& samples) noexcept {
+    double peak = 0.0;
+    for (double x : samples) {
+        peak = std::max(peak, std::abs(x));
+    }
+    return peak;
+}
+
+} // namespace bistna

@@ -1,0 +1,57 @@
+// Streaming and batch statistics used by the experiment harnesses
+// (Fig. 9 repeatability runs, Monte Carlo sweeps, error-bound checks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bistna {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class running_stats {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+    /// max - min; 0 when empty.
+    double range() const noexcept;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Summary of a batch of samples.
+struct summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p05 = 0.0; ///< 5th percentile
+    double p95 = 0.0; ///< 95th percentile
+};
+
+/// Compute a summary; throws precondition_error on an empty batch.
+summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a batch; q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+/// Root-mean-square of a batch (0 for empty input).
+double rms(const std::vector<double>& samples) noexcept;
+
+/// Maximum absolute value in a batch (0 for empty input).
+double peak_abs(const std::vector<double>& samples) noexcept;
+
+} // namespace bistna

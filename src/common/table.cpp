@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bistna {
+
+ascii_table::ascii_table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+    BISTNA_EXPECTS(!columns_.empty(), "table must have at least one column");
+}
+
+void ascii_table::add_row(std::vector<std::string> cells) {
+    BISTNA_EXPECTS(cells.size() == columns_.size(), "row width must match column count");
+    rows_.push_back(std::move(cells));
+}
+
+void ascii_table::add_row(const std::vector<double>& values, int precision) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        cells.push_back(format_fixed(v, precision));
+    }
+    add_row(std::move(cells));
+}
+
+void ascii_table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+            os << (c + 1 == cells.size() ? " |" : " | ");
+        }
+        os << '\n';
+    };
+    print_row(columns_);
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string format_fixed(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string format_sci(double value, int precision) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace bistna

@@ -1,0 +1,41 @@
+// ASCII table rendering for bench reports.
+//
+// Every bench prints its reproduced figure/table as an aligned text table
+// (paper value vs measured value side by side), mirroring how the paper
+// reports its results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bistna {
+
+class ascii_table {
+public:
+    explicit ascii_table(std::vector<std::string> column_names);
+
+    /// Append a preformatted row; must match the column count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with the given precision.
+    void add_row(const std::vector<double>& values, int precision = 4);
+
+    /// Render with column alignment and a header separator.
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+    std::size_t columns() const noexcept { return columns_.size(); }
+
+private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for mixed text/number rows).
+std::string format_fixed(double value, int precision = 3);
+
+/// Format a double in scientific notation.
+std::string format_sci(double value, int precision = 3);
+
+} // namespace bistna

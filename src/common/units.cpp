@@ -1,0 +1,29 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bistna {
+
+double amplitude_ratio_to_db(double ratio) noexcept {
+    const double magnitude = std::abs(ratio);
+    if (magnitude == 0.0) {
+        return -std::numeric_limits<double>::infinity();
+    }
+    return 20.0 * std::log10(magnitude);
+}
+
+double db_to_amplitude_ratio(double db) noexcept { return std::pow(10.0, db / 20.0); }
+
+double power_ratio_to_db(double ratio) noexcept {
+    if (ratio <= 0.0) {
+        return -std::numeric_limits<double>::infinity();
+    }
+    return 10.0 * std::log10(ratio);
+}
+
+double amplitude_to_dbfs(double amplitude, double full_scale) noexcept {
+    return amplitude_ratio_to_db(amplitude / full_scale);
+}
+
+} // namespace bistna

@@ -1,0 +1,82 @@
+// Strong unit types and decibel conversions.
+//
+// The network analyzer manipulates frequencies (master clock, generator
+// clock, signal frequency), voltages (references, amplitudes) and times.
+// Mixing them up silently is a classic source of test-bench bugs, so the
+// public APIs take strong types (Core Guidelines I.4).  Internals that do
+// pure arithmetic use `double` and convert at the boundary.
+#pragma once
+
+#include <compare>
+
+namespace bistna {
+
+/// Frequency in hertz.
+struct hertz {
+    double value = 0.0;
+
+    constexpr hertz() = default;
+    constexpr explicit hertz(double hz) : value(hz) {}
+
+    friend constexpr auto operator<=>(hertz, hertz) = default;
+    constexpr hertz operator*(double k) const { return hertz{value * k}; }
+    constexpr hertz operator/(double k) const { return hertz{value / k}; }
+    constexpr double operator/(hertz other) const { return value / other.value; }
+};
+
+constexpr hertz operator*(double k, hertz f) { return hertz{k * f.value}; }
+
+constexpr hertz kilohertz(double khz) { return hertz{khz * 1e3}; }
+constexpr hertz megahertz(double mhz) { return hertz{mhz * 1e6}; }
+
+/// Voltage in volts.
+struct volt {
+    double value = 0.0;
+
+    constexpr volt() = default;
+    constexpr explicit volt(double v) : value(v) {}
+
+    friend constexpr auto operator<=>(volt, volt) = default;
+    constexpr volt operator+(volt other) const { return volt{value + other.value}; }
+    constexpr volt operator-(volt other) const { return volt{value - other.value}; }
+    constexpr volt operator-() const { return volt{-value}; }
+    constexpr volt operator*(double k) const { return volt{value * k}; }
+    constexpr double operator/(volt other) const { return value / other.value; }
+};
+
+constexpr volt operator*(double k, volt v) { return volt{k * v.value}; }
+
+constexpr volt millivolt(double mv) { return volt{mv * 1e-3}; }
+
+/// Time in seconds.
+struct seconds {
+    double value = 0.0;
+
+    constexpr seconds() = default;
+    constexpr explicit seconds(double s) : value(s) {}
+
+    friend constexpr auto operator<=>(seconds, seconds) = default;
+};
+
+/// Period of a frequency.
+constexpr seconds period_of(hertz f) { return seconds{1.0 / f.value}; }
+
+// ---------------------------------------------------------------------------
+// Decibel conversions.
+// ---------------------------------------------------------------------------
+
+/// 20*log10(|amplitude ratio|); returns -infinity for a zero ratio.
+double amplitude_ratio_to_db(double ratio) noexcept;
+
+/// Inverse of amplitude_ratio_to_db.
+double db_to_amplitude_ratio(double db) noexcept;
+
+/// 10*log10(power ratio); returns -infinity for zero.
+double power_ratio_to_db(double ratio) noexcept;
+
+/// Amplitude expressed in dB relative to a full-scale amplitude.
+/// The paper's Fig. 9 axis ("dBm") is dB relative to the modulator full
+/// scale of ~0.7 V; see bistna::eval::full_scale_reference.
+double amplitude_to_dbfs(double amplitude, double full_scale) noexcept;
+
+} // namespace bistna

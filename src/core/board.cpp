@@ -1,0 +1,56 @@
+#include "core/board.hpp"
+
+#include "common/error.hpp"
+
+namespace bistna::core {
+
+demonstrator_board::demonstrator_board(gen::generator_params generator_params,
+                                       std::unique_ptr<dut::device_under_test> dut)
+    : gen_params_(generator_params), dut_(std::move(dut)) {
+    BISTNA_EXPECTS(dut_ != nullptr, "board requires a DUT (use bypass_dut for none)");
+}
+
+std::vector<double> demonstrator_board::render(const sim::timebase& tb, std::size_t periods,
+                                               signal_path path,
+                                               std::size_t settle_periods) {
+    BISTNA_EXPECTS(periods > 0, "must render at least one period");
+
+    // Fresh instances per render: the hardware is reset between
+    // acquisitions, and rendering from generator phase 0 keeps records
+    // phase-coherent across calibration and measurement runs.
+    gen::sinewave_generator generator(gen_params_);
+    generator.set_amplitude(va_diff_);
+    dut_->reset();
+    dut_->prepare(tb.master().value);
+
+    const std::size_t hold = sim::timebase::generator_divider; // 6 f_eva ticks
+    const std::size_t total_periods = settle_periods + periods;
+    const std::size_t total_samples = tb.samples_for_periods(total_periods);
+    const std::size_t keep_from = tb.samples_for_periods(settle_periods);
+
+    std::vector<double> record;
+    record.reserve(tb.samples_for_periods(periods));
+
+    double held = 0.0;
+    sim::clock_divider divider(hold);
+    for (std::size_t n = 0; n < total_samples; ++n) {
+        if (divider.tick()) {
+            held = generator.step(); // generator updates at f_gen = f_eva/6
+        }
+        const double node = path == signal_path::through_dut ? dut_->process(held) : held;
+        if (n >= keep_from) {
+            record.push_back(node);
+        }
+    }
+    return record;
+}
+
+eval::sample_source demonstrator_board::as_source(std::vector<double> record) {
+    auto shared = std::make_shared<std::vector<double>>(std::move(record));
+    return [shared](std::size_t n) {
+        BISTNA_EXPECTS(n < shared->size(), "sample index beyond rendered record");
+        return (*shared)[n];
+    };
+}
+
+} // namespace bistna::core

@@ -1,0 +1,58 @@
+// The demonstrator board (paper Figs. 1 and 7).
+//
+// One master clock at f_eva drives everything: the 1:6 divider clocks the
+// sinewave generator, whose output is held between generator updates (a
+// staircase piecewise-constant over every f_eva interval); the DUT filters
+// that staircase in continuous time (simulated exactly via ZOH state
+// space); the evaluator samples the result at f_eva.  A calibration switch
+// bypasses the DUT so the stimulus itself can be characterized (dashed
+// path in Fig. 1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dut/dut.hpp"
+#include "eval/signature.hpp"
+#include "gen/generator.hpp"
+#include "sim/clock_divider.hpp"
+#include "sim/timebase.hpp"
+
+namespace bistna::core {
+
+enum class signal_path {
+    through_dut, ///< generator -> DUT -> evaluator
+    calibration  ///< generator -> evaluator (dashed path in Fig. 1)
+};
+
+class demonstrator_board {
+public:
+    demonstrator_board(gen::generator_params generator_params,
+                       std::unique_ptr<dut::device_under_test> dut);
+
+    /// Program the stimulus amplitude (V_A+ - V_A-).
+    void set_amplitude(volt va_diff) { va_diff_ = va_diff; }
+    volt amplitude() const noexcept { return va_diff_; }
+
+    /// Render `periods` signal periods of the selected path on the f_eva
+    /// grid after discarding `settle_periods` (generator + DUT transients).
+    /// The record starts at generator phase 0, so repeated renders are
+    /// phase-coherent with the evaluator's square waves.
+    std::vector<double> render(const sim::timebase& tb, std::size_t periods,
+                               signal_path path, std::size_t settle_periods = 32);
+
+    /// Wrap a rendered record as an evaluator sample source.
+    static eval::sample_source as_source(std::vector<double> record);
+
+    const dut::device_under_test& dut() const { return *dut_; }
+    dut::device_under_test& dut() { return *dut_; }
+    const gen::generator_params& generator_params() const noexcept { return gen_params_; }
+
+private:
+    gen::generator_params gen_params_;
+    std::unique_ptr<dut::device_under_test> dut_;
+    volt va_diff_{0.15};
+};
+
+} // namespace bistna::core

@@ -1,0 +1,75 @@
+#include "core/screening.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna::core {
+
+spec_mask spec_mask::paper_lowpass() {
+    spec_mask mask;
+    mask.limits = {
+        {200.0, -0.6, 0.4, "passband flatness"},
+        {1000.0, -4.0, -2.2, "cutoff depth"},
+        {4000.0, -26.5, -21.5, "stopband slope"},
+    };
+    return mask;
+}
+
+screening_report screen(network_analyzer& analyzer, const spec_mask& mask) {
+    BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
+    screening_report report;
+
+    // Self-test: the calibration path must read the programmed stimulus.
+    const auto& calibration = analyzer.calibrate();
+    report.stimulus_volts = calibration.amplitude.volts;
+    report.self_test_passed =
+        std::abs(calibration.amplitude.volts - mask.stimulus_volts_nominal) <=
+        mask.stimulus_tolerance * mask.stimulus_volts_nominal;
+    if (!report.self_test_passed) {
+        report.passed = false;
+        return report; // BIST circuitry itself is broken; don't trust the DUT data
+    }
+
+    report.passed = true;
+    for (const auto& limit : mask.limits) {
+        const auto point = analyzer.measure_point(hertz{limit.f_hz});
+        limit_result result;
+        result.limit = limit;
+        result.measured_db = point.gain_db;
+        result.measured_bounds_db = point.gain_db_bounds;
+        // Conservative: the whole guaranteed interval must sit in the mask,
+        // so measurement uncertainty can never produce a false pass.
+        result.passed = point.gain_db_bounds.lo() >= limit.gain_db_min &&
+                        point.gain_db_bounds.hi() <= limit.gain_db_max;
+        report.passed = report.passed && result.passed;
+        report.limits.push_back(result);
+    }
+    return report;
+}
+
+lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
+                      const spec_mask& mask, std::size_t dice, std::uint64_t first_seed) {
+    BISTNA_EXPECTS(dice > 0, "lot must contain at least one die");
+    lot_result lot;
+    lot.dice = dice;
+
+    std::vector<std::vector<double>> gains(mask.limits.size());
+    for (std::size_t die = 0; die < dice; ++die) {
+        demonstrator_board board = factory(first_seed + die);
+        network_analyzer analyzer(board, settings);
+        const auto report = screen(analyzer, mask);
+        lot.passed += report.passed ? 1 : 0;
+        for (std::size_t i = 0; i < report.limits.size(); ++i) {
+            gains[i].push_back(report.limits[i].measured_db);
+        }
+    }
+    for (auto& samples : gains) {
+        if (!samples.empty()) {
+            lot.gain_distributions.push_back(summarize(std::move(samples)));
+        }
+    }
+    return lot;
+}
+
+} // namespace bistna::core

@@ -1,0 +1,75 @@
+// Production screening on top of the network analyzer (extension).
+//
+// The paper motivates BIST with test economics; this module turns the
+// analyzer into the go/no-go instrument a production flow needs: spec
+// masks over frequency, conservative interval-based pass/fail (a die
+// passes only if its *guaranteed* measurement interval sits inside the
+// mask), and Monte Carlo lot screening across process draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+#include "core/network_analyzer.hpp"
+
+namespace bistna::core {
+
+/// One gain-mask point: at f_hz the gain must lie within [min, max] dB.
+struct gain_limit {
+    double f_hz = 0.0;
+    double gain_db_min = 0.0;
+    double gain_db_max = 0.0;
+    std::string name;
+};
+
+/// A spec mask: gain limits plus an optional stimulus self-test window.
+struct spec_mask {
+    std::vector<gain_limit> limits;
+    double stimulus_volts_nominal = 0.3;
+    double stimulus_tolerance = 0.05; ///< relative
+
+    /// Mask for the paper's 1 kHz Butterworth DUT.
+    static spec_mask paper_lowpass();
+};
+
+/// Per-limit screening outcome.
+struct limit_result {
+    gain_limit limit;
+    double measured_db = 0.0;
+    interval measured_bounds_db;
+    bool passed = false;
+};
+
+struct screening_report {
+    bool self_test_passed = false;
+    double stimulus_volts = 0.0;
+    std::vector<limit_result> limits;
+    bool passed = false;
+};
+
+/// Screen one board (self-test + all mask limits, conservative intervals).
+screening_report screen(network_analyzer& analyzer, const spec_mask& mask);
+
+/// Factory producing a fresh board instance per Monte Carlo draw.
+using board_factory = std::function<demonstrator_board(std::uint64_t seed)>;
+
+struct lot_result {
+    std::size_t dice = 0;
+    std::size_t passed = 0;
+    double yield() const {
+        return dice == 0 ? 0.0 : static_cast<double>(passed) / static_cast<double>(dice);
+    }
+    /// Measured-gain distribution at each mask limit across the lot.
+    std::vector<summary> gain_distributions;
+};
+
+/// Screen `dice` process draws; seeds are first_seed, first_seed+1, ...
+lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
+                      const spec_mask& mask, std::size_t dice,
+                      std::uint64_t first_seed = 1);
+
+} // namespace bistna::core

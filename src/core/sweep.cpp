@@ -1,0 +1,34 @@
+#include "core/sweep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna::core {
+
+std::vector<hertz> log_spaced(hertz lo, hertz hi, std::size_t points) {
+    BISTNA_EXPECTS(lo.value > 0.0 && hi.value > lo.value, "invalid log sweep range");
+    BISTNA_EXPECTS(points >= 2, "sweep needs at least two points");
+    std::vector<hertz> out;
+    out.reserve(points);
+    const double ratio = std::log(hi.value / lo.value);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back(hertz{lo.value * std::exp(ratio * t)});
+    }
+    return out;
+}
+
+std::vector<hertz> linear_spaced(hertz lo, hertz hi, std::size_t points) {
+    BISTNA_EXPECTS(hi.value > lo.value, "invalid linear sweep range");
+    BISTNA_EXPECTS(points >= 2, "sweep needs at least two points");
+    std::vector<hertz> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back(hertz{lo.value + (hi.value - lo.value) * t});
+    }
+    return out;
+}
+
+} // namespace bistna::core

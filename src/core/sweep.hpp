@@ -1,0 +1,16 @@
+// Frequency-sweep planning: the master-clock schedule of a Bode run.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bistna::core {
+
+/// Logarithmically spaced frequencies in [lo, hi] inclusive.
+std::vector<hertz> log_spaced(hertz lo, hertz hi, std::size_t points);
+
+/// Linearly spaced frequencies in [lo, hi] inclusive.
+std::vector<hertz> linear_spaced(hertz lo, hertz hi, std::size_t points);
+
+} // namespace bistna::core

@@ -1,0 +1,66 @@
+#include "dsp/cic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna::dsp {
+
+cic_decimator::cic_decimator(std::size_t order, std::size_t factor)
+    : order_(order), factor_(factor), integrators_(order, 0.0), combs_(order, 0.0),
+      normalization_(std::pow(static_cast<double>(factor), static_cast<double>(order))) {
+    BISTNA_EXPECTS(order >= 1 && order <= 8, "CIC order must be in [1, 8]");
+    BISTNA_EXPECTS(factor >= 2, "CIC decimation factor must be >= 2");
+}
+
+bool cic_decimator::push(double sample) {
+    // Integrator cascade at the input rate.
+    double value = sample;
+    for (double& integrator : integrators_) {
+        integrator += value;
+        value = integrator;
+    }
+    if (++phase_ < factor_) {
+        return false;
+    }
+    phase_ = 0;
+    // Comb cascade at the output rate.
+    for (double& comb : combs_) {
+        const double previous = comb;
+        comb = value;
+        value -= previous;
+    }
+    output_ = value / normalization_;
+    return true;
+}
+
+std::vector<double> cic_decimator::process(const std::vector<double>& input) {
+    std::vector<double> out;
+    out.reserve(input.size() / factor_ + 1);
+    for (double x : input) {
+        if (push(x)) {
+            out.push_back(output());
+        }
+    }
+    return out;
+}
+
+double cic_decimator::magnitude(double normalized_frequency) const {
+    const double m = static_cast<double>(factor_);
+    if (std::abs(normalized_frequency) < 1e-15) {
+        return 1.0;
+    }
+    const double numerator = std::sin(pi * normalized_frequency * m);
+    const double denominator = m * std::sin(pi * normalized_frequency);
+    return std::pow(std::abs(numerator / denominator), static_cast<double>(order_));
+}
+
+void cic_decimator::reset() {
+    integrators_.assign(order_, 0.0);
+    combs_.assign(order_, 0.0);
+    phase_ = 0;
+    output_ = 0.0;
+}
+
+} // namespace bistna::dsp

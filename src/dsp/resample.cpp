@@ -1,0 +1,49 @@
+#include "dsp/resample.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna::dsp {
+
+std::vector<double> zoh_upsample(const std::vector<double>& samples, std::size_t factor) {
+    BISTNA_EXPECTS(factor > 0, "upsampling factor must be positive");
+    std::vector<double> out;
+    out.reserve(samples.size() * factor);
+    for (double x : samples) {
+        for (std::size_t k = 0; k < factor; ++k) {
+            out.push_back(x);
+        }
+    }
+    return out;
+}
+
+std::vector<double> linear_upsample(const std::vector<double>& samples, std::size_t factor) {
+    BISTNA_EXPECTS(factor > 0, "upsampling factor must be positive");
+    if (samples.empty()) {
+        return {};
+    }
+    std::vector<double> out;
+    out.reserve(samples.size() * factor);
+    for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+        for (std::size_t k = 0; k < factor; ++k) {
+            const double t = static_cast<double>(k) / static_cast<double>(factor);
+            out.push_back(lerp(samples[i], samples[i + 1], t));
+        }
+    }
+    out.push_back(samples.back());
+    return out;
+}
+
+std::vector<double> decimate(const std::vector<double>& samples, std::size_t factor,
+                             std::size_t phase) {
+    BISTNA_EXPECTS(factor > 0, "decimation factor must be positive");
+    BISTNA_EXPECTS(phase < factor, "decimation phase must be < factor");
+    std::vector<double> out;
+    out.reserve(samples.size() / factor + 1);
+    for (std::size_t i = phase; i < samples.size(); i += factor) {
+        out.push_back(samples[i]);
+    }
+    return out;
+}
+
+} // namespace bistna::dsp

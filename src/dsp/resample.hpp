@@ -1,0 +1,25 @@
+// Rate conversion helpers.
+//
+// The paper's Fig. 8b caveat — "these results correspond to the
+// continuous-time analysis of a sampled signal" — is reproduced by
+// zero-order-hold upsampling: holding each generator sample over `factor`
+// fine-grid points exposes the ZOH images a scope would see, while the
+// plain sample stream gives the discrete-time view.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bistna::dsp {
+
+/// Repeat each sample `factor` times (zero-order hold onto a finer grid).
+std::vector<double> zoh_upsample(const std::vector<double>& samples, std::size_t factor);
+
+/// Linear-interpolation upsampling onto a grid `factor` times finer.
+std::vector<double> linear_upsample(const std::vector<double>& samples, std::size_t factor);
+
+/// Keep every `factor`-th sample starting at `phase`.
+std::vector<double> decimate(const std::vector<double>& samples, std::size_t factor,
+                             std::size_t phase = 0);
+
+} // namespace bistna::dsp

@@ -1,0 +1,131 @@
+#include "dsp/sine_fit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bistna::dsp {
+
+namespace {
+
+sine_fit_result fit_at_frequency(const std::vector<double>& samples, double frequency_hz,
+                                 double sample_rate_hz) {
+    const std::size_t n = samples.size();
+    const double omega = two_pi * frequency_hz / sample_rate_hz;
+
+    // Normal equations for [cos, sin, 1] basis.
+    double scc = 0.0, sss = 0.0, scs = 0.0, sc = 0.0, ss = 0.0;
+    double xc = 0.0, xs = 0.0, x1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = omega * static_cast<double>(i);
+        const double c = std::cos(t);
+        const double s = std::sin(t);
+        const double x = samples[i];
+        scc += c * c;
+        sss += s * s;
+        scs += c * s;
+        sc += c;
+        ss += s;
+        xc += x * c;
+        xs += x * s;
+        x1 += x;
+    }
+    auto gram = linalg::matrix::from_rows({{scc, scs, sc},
+                                           {scs, sss, ss},
+                                           {sc, ss, static_cast<double>(n)}});
+    const auto coeffs = linalg::solve(std::move(gram), {xc, xs, x1});
+    const double a = coeffs[0];
+    const double b = coeffs[1];
+
+    sine_fit_result result;
+    result.amplitude = std::hypot(a, b);
+    // x ~ a cos + b sin = amplitude * cos(wt - atan2(b, a)).
+    result.phase_rad = wrap_phase(std::atan2(-b, a));
+    result.offset = coeffs[2];
+    result.frequency_hz = frequency_hz;
+
+    double residual_energy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = omega * static_cast<double>(i);
+        const double model = a * std::cos(t) + b * std::sin(t) + coeffs[2];
+        residual_energy += square(samples[i] - model);
+    }
+    result.rms_residual = std::sqrt(residual_energy / static_cast<double>(n));
+    return result;
+}
+
+} // namespace
+
+sine_fit_result sine_fit_3param(const std::vector<double>& samples, double frequency_hz,
+                                double sample_rate_hz) {
+    BISTNA_EXPECTS(samples.size() >= 4, "sine fit needs at least 4 samples");
+    BISTNA_EXPECTS(frequency_hz > 0.0 && sample_rate_hz > 0.0,
+                   "frequencies must be positive");
+    return fit_at_frequency(samples, frequency_hz, sample_rate_hz);
+}
+
+sine_fit_result sine_fit_4param(const std::vector<double>& samples,
+                                double initial_frequency_hz, double sample_rate_hz,
+                                std::size_t max_iterations) {
+    BISTNA_EXPECTS(samples.size() >= 8, "4-parameter sine fit needs at least 8 samples");
+    BISTNA_EXPECTS(initial_frequency_hz > 0.0 && sample_rate_hz > 0.0,
+                   "frequencies must be positive");
+
+    // Robust frequency search: the 3-parameter residual is smooth in
+    // frequency, so bracket the minimum on a +/-10 % grid around the guess
+    // and shrink the bracket by golden-section.  (A Gauss-Newton step on
+    // the linearized model is faster but diverges for guesses more than a
+    // fraction of a bin away; robustness matters more here.)
+    auto residual_at = [&](double f) {
+        return fit_at_frequency(samples, f, sample_rate_hz).rms_residual;
+    };
+
+    const double nyquist = sample_rate_hz / 2.0;
+    double lo = std::max(initial_frequency_hz * 0.9, 1e-12);
+    double hi = std::min(initial_frequency_hz * 1.1, nyquist * 0.999);
+    BISTNA_EXPECTS(lo < hi, "initial frequency guess too close to Nyquist");
+
+    // Coarse grid to localize the basin.
+    const std::size_t grid = 41;
+    double best_f = initial_frequency_hz;
+    double best_r = residual_at(best_f);
+    for (std::size_t i = 0; i < grid; ++i) {
+        const double f = lo + (hi - lo) * static_cast<double>(i) / (grid - 1);
+        const double r = residual_at(f);
+        if (r < best_r) {
+            best_r = r;
+            best_f = f;
+        }
+    }
+    const double step = (hi - lo) / static_cast<double>(grid - 1);
+    lo = std::max(best_f - step, 1e-12);
+    hi = std::min(best_f + step, nyquist * 0.999);
+
+    // Golden-section refinement; ~60 shrinks reach machine precision.
+    const double golden = 0.5 * (std::sqrt(5.0) - 1.0);
+    double x1 = hi - golden * (hi - lo);
+    double x2 = lo + golden * (hi - lo);
+    double r1 = residual_at(x1);
+    double r2 = residual_at(x2);
+    const std::size_t shrinks = std::max<std::size_t>(max_iterations * 5, 60);
+    for (std::size_t i = 0; i < shrinks && (hi - lo) > 1e-13 * best_f; ++i) {
+        if (r1 < r2) {
+            hi = x2;
+            x2 = x1;
+            r2 = r1;
+            x1 = hi - golden * (hi - lo);
+            r1 = residual_at(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            r1 = r2;
+            x2 = lo + golden * (hi - lo);
+            r2 = residual_at(x2);
+        }
+    }
+    return fit_at_frequency(samples, 0.5 * (lo + hi), sample_rate_hz);
+}
+
+} // namespace bistna::dsp

@@ -1,0 +1,32 @@
+// IEEE-1057 style sine-wave fitting.
+//
+// The three-parameter fit (known frequency) is the reference amplitude
+// extractor for the Fig. 8a bench; the four-parameter fit refines an
+// uncertain frequency and is used to verify f_wave = f_gen/16.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bistna::dsp {
+
+struct sine_fit_result {
+    double amplitude = 0.0;
+    double phase_rad = 0.0;  ///< x[n] ~ amplitude * cos(2 pi f n / fs + phase) + offset
+    double offset = 0.0;
+    double frequency_hz = 0.0;
+    double rms_residual = 0.0;
+};
+
+/// Least-squares fit of A cos + B sin + C at a known frequency (IEEE-1057
+/// three-parameter fit, closed form).
+sine_fit_result sine_fit_3param(const std::vector<double>& samples, double frequency_hz,
+                                double sample_rate_hz);
+
+/// Four-parameter fit: iterative Gauss-Newton refinement of the frequency
+/// starting from an initial guess.  max_iterations bounds the refinement.
+sine_fit_result sine_fit_4param(const std::vector<double>& samples,
+                                double initial_frequency_hz, double sample_rate_hz,
+                                std::size_t max_iterations = 12);
+
+} // namespace bistna::dsp

@@ -1,0 +1,182 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace bistna::dsp {
+
+std::size_t amplitude_spectrum::bin_of_frequency(double hz) const {
+    BISTNA_EXPECTS(bin_hz > 0.0, "spectrum has no frequency axis");
+    const double bin = std::round(hz / bin_hz);
+    if (bin < 0.0) {
+        return 0;
+    }
+    return std::min(static_cast<std::size_t>(bin), amplitude.size() - 1);
+}
+
+std::vector<double> amplitude_spectrum::in_db(double reference) const {
+    std::vector<double> db(amplitude.size());
+    for (std::size_t i = 0; i < amplitude.size(); ++i) {
+        db[i] = amplitude_ratio_to_db(amplitude[i] / reference);
+    }
+    return db;
+}
+
+amplitude_spectrum compute_spectrum(const std::vector<double>& samples, double sample_rate_hz,
+                                    window_kind kind) {
+    BISTNA_EXPECTS(samples.size() >= 8, "spectrum needs at least 8 samples");
+    BISTNA_EXPECTS(sample_rate_hz > 0.0, "sample rate must be positive");
+
+    std::size_t n = std::size_t{1} << static_cast<std::size_t>(
+                        std::floor(std::log2(static_cast<double>(samples.size()))));
+    std::vector<double> windowed(n);
+    const auto window = make_window(kind, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        windowed[i] = samples[i] * window[i];
+    }
+    const auto bins = rfft(windowed);
+    const double gain = coherent_gain(window);
+
+    amplitude_spectrum result;
+    result.amplitude.resize(bins.size());
+    result.bin_hz = sample_rate_hz / static_cast<double>(n);
+    result.sample_rate_hz = sample_rate_hz;
+    result.window = kind;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        // Single-sided amplitude: double all bins except DC and Nyquist.
+        const double sided = (i == 0 || i + 1 == bins.size()) ? 1.0 : 2.0;
+        result.amplitude[i] = sided * std::abs(bins[i]) / (static_cast<double>(n) * gain);
+    }
+    return result;
+}
+
+spectral_peak find_peak(const amplitude_spectrum& spectrum, std::size_t min_bin,
+                        std::size_t max_bin) {
+    BISTNA_EXPECTS(min_bin <= max_bin && max_bin < spectrum.bins(), "peak search out of range");
+    spectral_peak best;
+    for (std::size_t b = min_bin; b <= max_bin; ++b) {
+        if (spectrum.amplitude[b] > best.amplitude) {
+            best.amplitude = spectrum.amplitude[b];
+            best.bin = b;
+        }
+    }
+    best.frequency_hz = spectrum.frequency_of_bin(best.bin);
+    return best;
+}
+
+spectral_peak measure_tone(const amplitude_spectrum& spectrum, double frequency_hz,
+                           std::size_t search_bins) {
+    const std::size_t center = spectrum.bin_of_frequency(frequency_hz);
+    const std::size_t lo = center > search_bins ? center - search_bins : 0;
+    const std::size_t hi = std::min(center + search_bins, spectrum.bins() - 1);
+    spectral_peak peak = find_peak(spectrum, lo, hi);
+
+    // Integrate the leakage skirt (root-sum-square over the main lobe) for
+    // an amplitude estimate that is robust to non-coherent sampling.
+    const std::size_t halfwidth = leakage_halfwidth_bins(spectrum.window);
+    const std::size_t skirt_lo = peak.bin > halfwidth ? peak.bin - halfwidth : 0;
+    const std::size_t skirt_hi = std::min(peak.bin + halfwidth, spectrum.bins() - 1);
+    double energy = 0.0;
+    for (std::size_t b = skirt_lo; b <= skirt_hi; ++b) {
+        energy += square(spectrum.amplitude[b]);
+    }
+    const auto window = make_window(spectrum.window, 1 << 12);
+    // RSS overestimates a single windowed tone by sqrt(ENBW); correct it.
+    peak.amplitude = std::sqrt(energy / enbw_bins(window));
+    return peak;
+}
+
+tone_metrics analyze_tone(const std::vector<double>& samples, double sample_rate_hz,
+                          double fundamental_hz, std::size_t harmonics, window_kind kind) {
+    const auto spectrum = compute_spectrum(samples, sample_rate_hz, kind);
+    const std::size_t halfwidth = leakage_halfwidth_bins(kind);
+
+    spectral_peak fundamental;
+    if (fundamental_hz > 0.0) {
+        fundamental = measure_tone(spectrum, fundamental_hz, halfwidth);
+    } else {
+        fundamental = find_peak(spectrum, halfwidth + 1, spectrum.bins() - 1);
+        fundamental = measure_tone(spectrum, fundamental.frequency_hz, 1);
+    }
+    BISTNA_EXPECTS(fundamental.amplitude > 0.0, "no fundamental tone found");
+
+    tone_metrics metrics;
+    metrics.fundamental_hz = fundamental.frequency_hz;
+    metrics.fundamental_amplitude = fundamental.amplitude;
+
+    // Harmonics H2..Hn (folded against Nyquist when aliased).
+    double harmonic_energy = 0.0;
+    const double nyquist = sample_rate_hz / 2.0;
+    for (std::size_t h = 2; h <= harmonics; ++h) {
+        double hz = static_cast<double>(h) * fundamental.frequency_hz;
+        // Fold aliased harmonics back into [0, nyquist].
+        hz = std::fmod(hz, sample_rate_hz);
+        if (hz > nyquist) {
+            hz = sample_rate_hz - hz;
+        }
+        const auto tone = measure_tone(spectrum, hz, 2);
+        metrics.harmonic_amplitudes.push_back(tone.amplitude);
+        harmonic_energy += square(tone.amplitude);
+    }
+    metrics.thd_db =
+        amplitude_ratio_to_db(std::sqrt(harmonic_energy) / fundamental.amplitude);
+
+    // SFDR: strongest spur excluding DC and the fundamental's leakage skirt.
+    double worst_spur = 0.0;
+    const std::size_t fund_bin = fundamental.bin;
+    for (std::size_t b = halfwidth + 1; b < spectrum.bins(); ++b) {
+        const std::size_t distance =
+            b > fund_bin ? b - fund_bin : fund_bin - b;
+        if (distance <= halfwidth) {
+            continue;
+        }
+        worst_spur = std::max(worst_spur, spectrum.amplitude[b]);
+    }
+    metrics.sfdr_db = worst_spur > 0.0
+                          ? amplitude_ratio_to_db(fundamental.amplitude / worst_spur)
+                          : 200.0;
+
+    // Noise: total energy minus DC, fundamental skirt and harmonic skirts.
+    double noise_energy = 0.0;
+    for (std::size_t b = halfwidth + 1; b < spectrum.bins(); ++b) {
+        const std::size_t distance_fund = b > fund_bin ? b - fund_bin : fund_bin - b;
+        if (distance_fund <= halfwidth) {
+            continue;
+        }
+        bool in_harmonic = false;
+        for (std::size_t h = 2; h <= harmonics; ++h) {
+            double hz = std::fmod(static_cast<double>(h) * fundamental.frequency_hz,
+                                  sample_rate_hz);
+            if (hz > nyquist) {
+                hz = sample_rate_hz - hz;
+            }
+            const std::size_t hb = spectrum.bin_of_frequency(hz);
+            const std::size_t distance = b > hb ? b - hb : hb - b;
+            if (distance <= halfwidth) {
+                in_harmonic = true;
+                break;
+            }
+        }
+        if (!in_harmonic) {
+            noise_energy += square(spectrum.amplitude[b]);
+        }
+    }
+    // Amplitude-corrected bins overestimate broadband noise power by the
+    // window's equivalent noise bandwidth; undo it for SNR.
+    noise_energy /= enbw_bins(make_window(kind, 1 << 12));
+    const double signal_energy = square(fundamental.amplitude);
+    metrics.snr_db = noise_energy > 0.0
+                         ? power_ratio_to_db(signal_energy / noise_energy)
+                         : 200.0;
+    const double nad = noise_energy + harmonic_energy;
+    metrics.sinad_db = nad > 0.0 ? power_ratio_to_db(signal_energy / nad) : 200.0;
+    metrics.enob_bits = (metrics.sinad_db - 1.76) / 6.02;
+    return metrics;
+}
+
+} // namespace bistna::dsp

@@ -1,0 +1,70 @@
+// Amplitude spectra and single-tone quality metrics.
+//
+// Implements the measurements the paper reports for Fig. 8b (SFDR, THD of
+// the generator output) and the oscilloscope cross-check of Fig. 10c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace bistna::dsp {
+
+/// Single-sided amplitude spectrum of a real record.
+struct amplitude_spectrum {
+    std::vector<double> amplitude; ///< per-bin amplitude (volts), window-corrected
+    double bin_hz = 0.0;           ///< frequency resolution
+    double sample_rate_hz = 0.0;
+    window_kind window = window_kind::rectangular;
+
+    std::size_t bins() const noexcept { return amplitude.size(); }
+    double frequency_of_bin(std::size_t bin) const noexcept {
+        return static_cast<double>(bin) * bin_hz;
+    }
+    /// Nearest bin for a frequency.
+    std::size_t bin_of_frequency(double hz) const;
+    /// Amplitude in dB relative to `reference` (default 1.0).
+    std::vector<double> in_db(double reference = 1.0) const;
+};
+
+/// Windowed, amplitude-corrected spectrum.  If the record length is not a
+/// power of two it is truncated to the largest power of two.
+amplitude_spectrum compute_spectrum(const std::vector<double>& samples, double sample_rate_hz,
+                                    window_kind kind = window_kind::blackman_harris);
+
+/// One spectral peak.
+struct spectral_peak {
+    std::size_t bin = 0;
+    double frequency_hz = 0.0;
+    double amplitude = 0.0;
+};
+
+/// Largest peak in [min_bin, max_bin]; searches local maxima.
+spectral_peak find_peak(const amplitude_spectrum& spectrum, std::size_t min_bin,
+                        std::size_t max_bin);
+
+/// Peak near an expected frequency, searching +/- search_bins around it and
+/// integrating the leakage skirt for an amplitude estimate.
+spectral_peak measure_tone(const amplitude_spectrum& spectrum, double frequency_hz,
+                           std::size_t search_bins = 3);
+
+/// Full single-tone analysis of a record.
+struct tone_metrics {
+    double fundamental_hz = 0.0;
+    double fundamental_amplitude = 0.0;
+    double thd_db = 0.0;       ///< total harmonic distortion, dB below carrier (negative)
+    double sfdr_db = 0.0;      ///< spurious-free dynamic range, dB (positive)
+    double snr_db = 0.0;       ///< signal vs non-harmonic noise
+    double sinad_db = 0.0;     ///< signal vs noise+distortion
+    double enob_bits = 0.0;    ///< effective number of bits from SINAD
+    std::vector<double> harmonic_amplitudes; ///< H2..Hn amplitudes (volts)
+};
+
+/// Analyze a single-tone record.  `fundamental_hz` <= 0 means auto-detect
+/// (largest non-DC peak).  `harmonics` counts H2..H(harmonics).
+tone_metrics analyze_tone(const std::vector<double>& samples, double sample_rate_hz,
+                          double fundamental_hz = 0.0, std::size_t harmonics = 5,
+                          window_kind kind = window_kind::blackman_harris);
+
+} // namespace bistna::dsp

@@ -1,0 +1,96 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna::dsp {
+
+std::vector<double> make_window(window_kind kind, std::size_t length) {
+    BISTNA_EXPECTS(length > 0, "window length must be positive");
+    std::vector<double> w(length, 1.0);
+    const double n = static_cast<double>(length);
+    auto cosine_sum = [&](const std::vector<double>& a) {
+        for (std::size_t i = 0; i < length; ++i) {
+            const double x = two_pi * static_cast<double>(i) / n;
+            double acc = 0.0;
+            double sign = 1.0;
+            for (std::size_t t = 0; t < a.size(); ++t) {
+                acc += sign * a[t] * std::cos(static_cast<double>(t) * x);
+                sign = -sign;
+            }
+            w[i] = acc;
+        }
+    };
+    switch (kind) {
+    case window_kind::rectangular:
+        break;
+    case window_kind::hann:
+        cosine_sum({0.5, 0.5});
+        break;
+    case window_kind::hamming:
+        cosine_sum({0.54, 0.46});
+        break;
+    case window_kind::blackman_harris:
+        cosine_sum({0.35875, 0.48829, 0.14128, 0.01168});
+        break;
+    case window_kind::flattop:
+        cosine_sum({0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368});
+        break;
+    }
+    return w;
+}
+
+double coherent_gain(const std::vector<double>& window) {
+    BISTNA_EXPECTS(!window.empty(), "coherent_gain of empty window");
+    double sum = 0.0;
+    for (double x : window) {
+        sum += x;
+    }
+    return sum / static_cast<double>(window.size());
+}
+
+double enbw_bins(const std::vector<double>& window) {
+    BISTNA_EXPECTS(!window.empty(), "enbw of empty window");
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : window) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    return static_cast<double>(window.size()) * sum_sq / (sum * sum);
+}
+
+std::size_t leakage_halfwidth_bins(window_kind kind) {
+    switch (kind) {
+    case window_kind::rectangular:
+        return 1;
+    case window_kind::hann:
+    case window_kind::hamming:
+        return 3;
+    case window_kind::blackman_harris:
+        return 5;
+    case window_kind::flattop:
+        return 7;
+    }
+    return 3;
+}
+
+std::string to_string(window_kind kind) {
+    switch (kind) {
+    case window_kind::rectangular:
+        return "rectangular";
+    case window_kind::hann:
+        return "hann";
+    case window_kind::hamming:
+        return "hamming";
+    case window_kind::blackman_harris:
+        return "blackman-harris";
+    case window_kind::flattop:
+        return "flattop";
+    }
+    return "unknown";
+}
+
+} // namespace bistna::dsp

@@ -1,0 +1,32 @@
+// FFT window functions and their correction factors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bistna::dsp {
+
+enum class window_kind {
+    rectangular,
+    hann,
+    hamming,
+    blackman_harris, ///< 4-term, -92 dB sidelobes
+    flattop          ///< amplitude-accurate 5-term flat-top
+};
+
+/// Window samples of the given length (periodic form, suited to FFT use).
+std::vector<double> make_window(window_kind kind, std::size_t length);
+
+/// Sum(w)/N: scale to recover the amplitude of a coherent tone.
+double coherent_gain(const std::vector<double>& window);
+
+/// Equivalent noise bandwidth in bins: N*Sum(w^2)/Sum(w)^2.
+double enbw_bins(const std::vector<double>& window);
+
+/// Half-width (in bins) over which a windowed tone's energy spreads; used
+/// when excluding the fundamental's leakage from spur searches.
+std::size_t leakage_halfwidth_bins(window_kind kind);
+
+std::string to_string(window_kind kind);
+
+} // namespace bistna::dsp

@@ -1,0 +1,19 @@
+#include "dut/dut.hpp"
+
+namespace bistna::dut {
+
+linear_dut::linear_dut(transfer_function tf, std::string name)
+    : tf_(std::move(tf)), realization_(state_space::from_transfer_function(tf_)),
+      name_(std::move(name)) {}
+
+void linear_dut::prepare(double sample_rate_hz) { realization_.prepare(sample_rate_hz); }
+
+double linear_dut::process(double input) { return realization_.step(input); }
+
+void linear_dut::reset() { realization_.reset(); }
+
+std::complex<double> linear_dut::ideal_response(double frequency_hz) const {
+    return tf_.response(frequency_hz);
+}
+
+} // namespace bistna::dut

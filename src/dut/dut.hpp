@@ -1,0 +1,67 @@
+// Device-under-test interface and the standard implementations.
+//
+// A DUT is a streaming component on the master-clock grid: prepare(fs)
+// discretizes it, process(u) advances one sample.  Each DUT also exposes
+// the *ideal linear response* of its drawn (perturbed) component values --
+// the ground truth the Fig. 10 benches compare the measured Bode points
+// against.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <string>
+
+#include "dut/state_space.hpp"
+#include "dut/transfer_function.hpp"
+
+namespace bistna::dut {
+
+class device_under_test {
+public:
+    virtual ~device_under_test() = default;
+
+    /// Discretize / configure for a sample rate.  Must precede process().
+    virtual void prepare(double sample_rate_hz) = 0;
+
+    /// One master-clock sample through the device.
+    virtual double process(double input) = 0;
+
+    /// Zero all internal state.
+    virtual void reset() = 0;
+
+    /// Linear small-signal response of this instance at a frequency.
+    virtual std::complex<double> ideal_response(double frequency_hz) const = 0;
+
+    virtual std::string description() const = 0;
+};
+
+/// Straight wire (the calibration path of Fig. 1).
+class bypass_dut final : public device_under_test {
+public:
+    void prepare(double) override {}
+    double process(double input) override { return input; }
+    void reset() override {}
+    std::complex<double> ideal_response(double) const override { return {1.0, 0.0}; }
+    std::string description() const override { return "bypass (calibration path)"; }
+};
+
+/// Any linear continuous-time transfer function, simulated exactly via ZOH.
+class linear_dut final : public device_under_test {
+public:
+    linear_dut(transfer_function tf, std::string name);
+
+    void prepare(double sample_rate_hz) override;
+    double process(double input) override;
+    void reset() override;
+    std::complex<double> ideal_response(double frequency_hz) const override;
+    std::string description() const override { return name_; }
+
+    const transfer_function& tf() const noexcept { return tf_; }
+
+private:
+    transfer_function tf_;
+    state_space realization_;
+    std::string name_;
+};
+
+} // namespace bistna::dut

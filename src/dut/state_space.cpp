@@ -1,0 +1,83 @@
+#include "dut/state_space.hpp"
+
+#include "common/error.hpp"
+#include "linalg/expm.hpp"
+
+namespace bistna::dut {
+
+state_space::state_space(linalg::matrix a, linalg::matrix b, linalg::matrix c, double d)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), d_(d), ad_(1, 1), bd_(1, 1) {
+    BISTNA_EXPECTS(a_.is_square(), "state matrix must be square");
+    BISTNA_EXPECTS(b_.rows() == a_.rows() && b_.cols() == 1, "B must be n x 1");
+    BISTNA_EXPECTS(c_.rows() == 1 && c_.cols() == a_.rows(), "C must be 1 x n");
+    state_.assign(a_.rows(), 0.0);
+}
+
+state_space state_space::from_transfer_function(const transfer_function& tf) {
+    const auto& den = tf.denominator();
+    const std::size_t n = tf.order();
+    BISTNA_EXPECTS(n >= 1, "state space requires order >= 1");
+
+    // Normalize so the denominator is monic.
+    const double lead = den.back();
+    poly dn(den.size());
+    for (std::size_t i = 0; i < den.size(); ++i) {
+        dn[i] = den[i] / lead;
+    }
+    poly nm(n + 1, 0.0);
+    for (std::size_t i = 0; i < tf.numerator().size(); ++i) {
+        nm[i] = tf.numerator()[i] / lead;
+    }
+
+    // Controllable canonical form.
+    linalg::matrix a(n, n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        a(i, i + 1) = 1.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        a(n - 1, j) = -dn[j];
+    }
+    linalg::matrix b(n, 1);
+    b(n - 1, 0) = 1.0;
+
+    const double d = nm[n];
+    linalg::matrix c(1, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        c(0, j) = nm[j] - dn[j] * d;
+    }
+    return state_space(std::move(a), std::move(b), std::move(c), d);
+}
+
+void state_space::prepare(double sample_rate_hz) {
+    BISTNA_EXPECTS(sample_rate_hz > 0.0, "sample rate must be positive");
+    const auto zoh = linalg::discretize_zoh(a_, b_, 1.0 / sample_rate_hz);
+    ad_ = zoh.ad;
+    bd_ = zoh.bd;
+    prepared_ = true;
+}
+
+double state_space::step(double input) {
+    BISTNA_EXPECTS(prepared_, "state_space::prepare(sample_rate) must be called first");
+    const std::size_t n = state_.size();
+    // Output at the *current* sampling instant (before the input acts over
+    // [n, n+1)), so rendered records align exactly with the sample grid the
+    // evaluator uses.
+    double y = d_ * input;
+    for (std::size_t c = 0; c < n; ++c) {
+        y += c_(0, c) * state_[c];
+    }
+    std::vector<double> next(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        double acc = bd_(r, 0) * input;
+        for (std::size_t c = 0; c < n; ++c) {
+            acc += ad_(r, c) * state_[c];
+        }
+        next[r] = acc;
+    }
+    state_ = std::move(next);
+    return y;
+}
+
+void state_space::reset() { state_.assign(state_.size(), 0.0); }
+
+} // namespace bistna::dut

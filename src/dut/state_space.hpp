@@ -1,0 +1,47 @@
+// Continuous-time state space x' = Ax + Bu, y = Cx + Du, discretized
+// *exactly* under the zero-order-hold assumption.
+//
+// The stimulus reaching the DUT on the demonstrator board is a staircase
+// updated at f_gen = f_eva/6 and therefore piecewise-constant over every
+// f_eva sample interval, so the matrix-exponential ZOH discretization
+// reproduces the continuous-time response sample-exactly at the evaluator's
+// sampling instants (DESIGN.md section 2).
+#pragma once
+
+#include "dut/transfer_function.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bistna::dut {
+
+class state_space {
+public:
+    /// SISO system; A: n x n, B: n x 1, C: 1 x n, D: 1 x 1.
+    state_space(linalg::matrix a, linalg::matrix b, linalg::matrix c, double d);
+
+    /// Build the controllable canonical realization of a transfer function.
+    static state_space from_transfer_function(const transfer_function& tf);
+
+    /// Discretize at a sample rate; must be called before step().
+    void prepare(double sample_rate_hz);
+    bool prepared() const noexcept { return prepared_; }
+
+    /// Advance one sample with ZOH input; returns the output *after* the
+    /// update (y[n+1] given u[n] held over the interval), matching how the
+    /// evaluator samples the settled board signal.
+    double step(double input);
+
+    /// Zero the state.
+    void reset();
+
+    std::size_t order() const noexcept { return a_.rows(); }
+    const linalg::matrix& a() const noexcept { return a_; }
+
+private:
+    linalg::matrix a_, b_, c_;
+    double d_;
+    linalg::matrix ad_, bd_;
+    std::vector<double> state_;
+    bool prepared_ = false;
+};
+
+} // namespace bistna::dut

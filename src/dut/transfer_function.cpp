@@ -1,0 +1,72 @@
+#include "dut/transfer_function.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+
+namespace bistna::dut {
+
+std::complex<double> eval_poly(const poly& p, std::complex<double> s) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t i = p.size(); i-- > 0;) {
+        acc = acc * s + p[i];
+    }
+    return acc;
+}
+
+poly multiply(const poly& a, const poly& b) {
+    BISTNA_EXPECTS(!a.empty() && !b.empty(), "polynomial product of empty polynomial");
+    poly out(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            out[i + j] += a[i] * b[j];
+        }
+    }
+    return out;
+}
+
+transfer_function::transfer_function(poly numerator, poly denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+    BISTNA_EXPECTS(!num_.empty() && !den_.empty(), "transfer function polynomials empty");
+    BISTNA_EXPECTS(num_.size() <= den_.size(), "transfer function must be proper");
+    BISTNA_EXPECTS(den_.back() != 0.0, "denominator leading coefficient is zero");
+}
+
+std::complex<double> transfer_function::response(double frequency_hz) const {
+    const std::complex<double> s(0.0, two_pi * frequency_hz);
+    return eval_poly(num_, s) / eval_poly(den_, s);
+}
+
+double transfer_function::magnitude_db(double frequency_hz) const {
+    return amplitude_ratio_to_db(std::abs(response(frequency_hz)));
+}
+
+double transfer_function::phase_rad(double frequency_hz) const {
+    return std::arg(response(frequency_hz));
+}
+
+double transfer_function::dc_gain() const { return num_.front() / den_.front(); }
+
+double transfer_function::cutoff_frequency(double lo_hz, double hi_hz) const {
+    BISTNA_EXPECTS(lo_hz > 0.0 && hi_hz > lo_hz, "invalid cutoff search bracket");
+    const double target = std::abs(dc_gain()) / std::sqrt(2.0);
+    auto above = [&](double f) { return std::abs(response(f)) > target; };
+    if (!above(lo_hz) || above(hi_hz)) {
+        throw configuration_error("cutoff_frequency: -3 dB point not bracketed");
+    }
+    double lo = lo_hz;
+    double hi = hi_hz;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = std::sqrt(lo * hi); // geometric bisection
+        (above(mid) ? lo : hi) = mid;
+    }
+    return std::sqrt(lo * hi);
+}
+
+transfer_function transfer_function::operator*(const transfer_function& other) const {
+    return transfer_function(multiply(num_, other.num_), multiply(den_, other.den_));
+}
+
+} // namespace bistna::dut

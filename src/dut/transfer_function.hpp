@@ -1,0 +1,57 @@
+// Continuous-time rational transfer functions H(s) = num(s)/den(s).
+//
+// Ground truth for every DUT: the network analyzer's measured Bode points
+// (Fig. 10a/b) are compared against H(j 2 pi f) of the *same perturbed
+// component values* the simulated die carries.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace bistna::dut {
+
+/// Polynomial coefficients in ascending powers of s: c[0] + c[1] s + ...
+using poly = std::vector<double>;
+
+class transfer_function {
+public:
+    transfer_function() = default;
+    transfer_function(poly numerator, poly denominator);
+
+    const poly& numerator() const noexcept { return num_; }
+    const poly& denominator() const noexcept { return den_; }
+
+    /// Order of the denominator polynomial.
+    std::size_t order() const noexcept { return den_.empty() ? 0 : den_.size() - 1; }
+
+    /// H(j 2 pi f).
+    std::complex<double> response(double frequency_hz) const;
+
+    /// |H| in dB at a frequency.
+    double magnitude_db(double frequency_hz) const;
+
+    /// Phase in radians at a frequency.
+    double phase_rad(double frequency_hz) const;
+
+    /// DC gain H(0).
+    double dc_gain() const;
+
+    /// -3 dB frequency found by bisection between [lo, hi] (for low-pass
+    /// responses); throws configuration_error if not bracketed.
+    double cutoff_frequency(double lo_hz, double hi_hz) const;
+
+    /// Cascade: this * other.
+    transfer_function operator*(const transfer_function& other) const;
+
+private:
+    poly num_{1.0};
+    poly den_{1.0};
+};
+
+/// Evaluate a polynomial at a complex point (Horner).
+std::complex<double> eval_poly(const poly& p, std::complex<double> s);
+
+/// Multiply two polynomials.
+poly multiply(const poly& a, const poly& b);
+
+} // namespace bistna::dut

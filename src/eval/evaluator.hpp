@@ -1,0 +1,79 @@
+// High-level sinewave evaluator (paper Fig. 4): acquisition + estimation.
+//
+// Wraps the signature extractor and the eq. (3)-(5) estimator into the
+// measurements the network analyzer needs: DC level, per-harmonic
+// amplitude/phase, THD, and amplitude-vs-MN convergence series (Fig. 9).
+//
+// Extension beyond the paper: `corrected_harmonic_sweep` removes the
+// square-wave demodulation's odd-harmonic leakage (the A_{3k}/3, A_{5k}/5
+// terms the paper neglects) by measuring the higher harmonics and
+// subtracting their predicted contribution from the lower signatures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/estimator.hpp"
+#include "eval/signature.hpp"
+
+namespace bistna::eval {
+
+struct evaluator_config {
+    sd::modulator_params modulator = sd::modulator_params::ideal();
+    std::uint64_t seed = 42;
+    std::size_t calibration_periods = 4096;
+    constants_mode constants = constants_mode::exact;
+    offset_mode offset = offset_mode::calibrated;
+    std::size_t n_per_period = 96; ///< N, fixed by construction on the board
+};
+
+class sinewave_evaluator {
+public:
+    explicit sinewave_evaluator(const evaluator_config& config);
+
+    /// One-time offset calibration (automatic on first use when the offset
+    /// mode requires it).
+    void calibrate();
+
+    /// DC level (k = 0), eq. (3).
+    dc_measurement measure_dc(const sample_source& source, std::size_t periods);
+
+    /// Amplitude + phase of harmonic k, eqs. (4)-(5).
+    harmonic_measurement measure_harmonic(const sample_source& source, std::size_t k,
+                                          std::size_t periods);
+
+    /// Amplitudes/phases of several harmonics (sequential acquisitions,
+    /// exactly like the silicon would run them).
+    std::vector<harmonic_measurement> harmonic_sweep(const sample_source& source,
+                                                     const std::vector<std::size_t>& ks,
+                                                     std::size_t periods);
+
+    /// Leakage-corrected sweep (see file comment).  `correction_passes`
+    /// fixed-point iterations; 2 is plenty.
+    std::vector<harmonic_measurement> corrected_harmonic_sweep(
+        const sample_source& source, const std::vector<std::size_t>& ks, std::size_t periods,
+        std::size_t correction_passes = 2);
+
+    /// THD from harmonics 1..max_harmonic (skipping ks that violate the
+    /// alignment condition, which is documented behaviour).
+    thd_measurement measure_thd(const sample_source& source, std::size_t max_harmonic,
+                                std::size_t periods);
+
+    /// Fig. 9: amplitude of harmonic k at several checkpoint period counts
+    /// within a single acquisition.
+    std::vector<amplitude_measurement> amplitude_convergence(
+        const sample_source& source, std::size_t k,
+        const std::vector<std::size_t>& checkpoint_periods);
+
+    signature_extractor& extractor() noexcept { return extractor_; }
+    const evaluator_config& config() const noexcept { return config_; }
+
+private:
+    acquisition_settings settings_for(std::size_t k, std::size_t periods) const;
+    void ensure_calibrated();
+
+    evaluator_config config_;
+    signature_extractor extractor_;
+};
+
+} // namespace bistna::eval

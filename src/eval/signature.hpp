@@ -1,0 +1,91 @@
+// Signature acquisition: two matched sigma-delta modulators + counters
+// (paper Fig. 4a), with the offset-handling arithmetic of section II.
+//
+// Offset handling modes:
+//  - `none`      : raw counts; modulator offset corrupts the signatures.
+//  - `calibrated`: a one-time grounded-input run measures each modulator's
+//                  offset count rate, subtracted from later signatures.
+//                  Preserves the +/-4 bound (plus a small calibration term
+//                  4*MN/MN_cal folded into eps_bound).  Default.
+//  - `chopped`   : M even; the second half of the evaluation inverts q_k
+//                  and the counter subtracts.  Offset cancels exactly with
+//                  no calibration, at the cost of a +/-8 bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eval/square_wave.hpp"
+#include "sd/modulator.hpp"
+
+namespace bistna::eval {
+
+enum class offset_mode { none, calibrated, chopped };
+
+/// Per-sample signal source on the master-clock grid (argument = sample n).
+using sample_source = std::function<double(std::size_t)>;
+
+struct acquisition_settings {
+    std::size_t harmonic_k = 1;   ///< k (0 = DC measurement)
+    std::size_t periods = 200;    ///< M; must be even for chopped mode
+    std::size_t n_per_period = 96;///< oversampling ratio N (96 by construction)
+    offset_mode offset = offset_mode::calibrated;
+    bool randomize_initial_state = true; ///< silicon-like residual state per run
+};
+
+/// Counter contents after an acquisition, plus the metadata the estimator
+/// needs.  Counts are doubles because the calibrated mode subtracts a
+/// fractional offset estimate.
+struct signature_result {
+    double i1 = 0.0;              ///< in-phase signature (offset-corrected)
+    double i2 = 0.0;              ///< quadrature signature (offset-corrected)
+    long long raw_i1 = 0;         ///< raw counter contents
+    long long raw_i2 = 0;
+    std::size_t total_samples = 0;///< M*N
+    std::size_t harmonic_k = 0;
+    std::size_t n_per_period = 0;
+    std::size_t periods = 0;
+    double eps_bound = 4.0;       ///< |eps| bound on each of i1, i2
+    double vref = 0.7;            ///< modulator full scale used
+};
+
+/// The acquisition engine: owns the matched modulator pair.
+class signature_extractor {
+public:
+    signature_extractor(sd::modulator_params params, std::uint64_t seed);
+
+    /// Grounded-input calibration run measuring each channel's offset count
+    /// rate.  Longer runs make the residual calibration error negligible.
+    void calibrate_offset(std::size_t periods = 4096, std::size_t n_per_period = 96);
+
+    bool offset_calibrated() const noexcept { return calibrated_; }
+    double offset_rate_ch1() const noexcept { return offset_rate_1_; }
+    double offset_rate_ch2() const noexcept { return offset_rate_2_; }
+
+    /// Acquire signatures for one measurement.
+    signature_result acquire(const sample_source& source, const acquisition_settings& settings);
+
+    /// Acquire once with the largest M and snapshot the counters at each
+    /// checkpoint (ascending period counts).  Valid because the bounded-
+    /// state property holds at every prefix.  Not available in chopped mode.
+    std::vector<signature_result> acquire_with_checkpoints(
+        const sample_source& source, acquisition_settings settings,
+        const std::vector<std::size_t>& checkpoint_periods);
+
+    const sd::modulator_params& modulator_params() const noexcept { return params_; }
+
+private:
+    void validate(const acquisition_settings& settings) const;
+    double initial_state();
+
+    sd::modulator_params params_;
+    bistna::rng rng_;
+    bool calibrated_ = false;
+    double offset_rate_1_ = 0.0;
+    double offset_rate_2_ = 0.0;
+    double calibration_samples_ = 0.0;
+};
+
+} // namespace bistna::eval

@@ -1,0 +1,30 @@
+#include "gen/cap_array.hpp"
+
+#include "common/error.hpp"
+
+namespace bistna::gen {
+
+cap_array::cap_array() {
+    for (std::size_t k = 0; k < level_count; ++k) {
+        levels_[k] = control_sequencer::ideal_level(k);
+    }
+}
+
+cap_array::cap_array(sim::process_sampler& process) {
+    levels_[0] = 0.0; // "no capacitor selected" has no mismatch
+    for (std::size_t k = 1; k < level_count; ++k) {
+        levels_[k] = process.matched_capacitor(control_sequencer::ideal_level(k));
+    }
+}
+
+double cap_array::value(generator_control control) const {
+    const double level = levels_[control.cap_index];
+    return control.negative ? -level : level;
+}
+
+double cap_array::level(std::size_t cap_index) const {
+    BISTNA_EXPECTS(cap_index < level_count, "capacitor index out of range");
+    return levels_[cap_index];
+}
+
+} // namespace bistna::gen

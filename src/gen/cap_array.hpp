@@ -1,0 +1,36 @@
+// The time-variant input capacitor array CI(t) (paper Fig. 2b).
+//
+// Four unit-ratioed capacitors CI_1..CI_4 are switched into the signal path
+// one at a time; fabrication mismatch perturbs each ratio, which is the
+// mechanism behind the generator's residual harmonic distortion.  Because
+// the same physical capacitor realizes mirrored steps (n, 8-n, 8+n, 16-n),
+// the mismatch error waveform is half-wave antisymmetric and contributes
+// only odd harmonics -- a property the tests check.
+#pragma once
+
+#include <array>
+
+#include "gen/quantized_sine.hpp"
+#include "sim/process.hpp"
+
+namespace bistna::gen {
+
+class cap_array {
+public:
+    /// Ideal array (levels exactly sin(k*pi/8)).
+    cap_array();
+
+    /// Array with mismatch drawn from the process sampler.
+    explicit cap_array(sim::process_sampler& process);
+
+    /// Signed capacitor value selected by a control word.
+    double value(generator_control control) const;
+
+    /// The drawn (unsigned) level for index k.
+    double level(std::size_t cap_index) const;
+
+private:
+    std::array<double, level_count> levels_{};
+};
+
+} // namespace bistna::gen

@@ -1,0 +1,92 @@
+#include "gen/generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna::gen {
+
+generator_params generator_params::ideal() {
+    generator_params p;
+    p.opamp1 = sc::opamp_params::ideal();
+    p.opamp2 = sc::opamp_params::ideal();
+    p.process = sim::process_params::ideal();
+    return p;
+}
+
+namespace {
+
+/// Draw this instance's biquad capacitors and input array from the process.
+struct drawn_instance {
+    sc::biquad_caps caps;
+    cap_array array;
+};
+
+drawn_instance draw_instance(const generator_params& params) {
+    rng seed_rng(params.seed);
+    sim::process_sampler process(params.process, seed_rng.spawn());
+    sc::biquad_caps caps = params.caps;
+    caps.a = process.matched_capacitor(caps.a);
+    caps.b = process.matched_capacitor(caps.b);
+    caps.c = process.matched_capacitor(caps.c);
+    caps.d = process.matched_capacitor(caps.d);
+    caps.f = process.matched_capacitor(caps.f);
+    return drawn_instance{caps, cap_array(process)};
+}
+
+} // namespace
+
+sinewave_generator::sinewave_generator(const generator_params& params)
+    : params_(params),
+      drawn_caps_(draw_instance(params).caps),
+      array_(draw_instance(params).array),
+      biquad_(drawn_caps_, params.opamp1, params.opamp2, rng(params.seed).spawn()) {}
+
+double sinewave_generator::step() {
+    const auto control = control_sequencer::at(step_);
+    ++step_;
+    return biquad_.step(va_diff_, array_.value(control));
+}
+
+void sinewave_generator::settle(std::size_t periods) {
+    for (std::size_t i = 0; i < periods * steps_per_period; ++i) {
+        step();
+    }
+}
+
+std::vector<double> sinewave_generator::generate(std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(step());
+    }
+    return out;
+}
+
+void sinewave_generator::reset() {
+    biquad_.reset();
+    step_ = 0;
+}
+
+double sinewave_generator::expected_amplitude() const {
+    const double gain =
+        std::abs(sc::biquad_response(params_.caps, 1.0 / static_cast<double>(steps_per_period)));
+    return gain * va_diff_;
+}
+
+ideal_sine_source::ideal_sine_source(double amplitude, double normalized_frequency,
+                                     double phase_rad, double offset)
+    : amplitude_(amplitude), normalized_frequency_(normalized_frequency), phase_(phase_rad),
+      offset_(offset) {
+    BISTNA_EXPECTS(normalized_frequency > 0.0 && normalized_frequency < 0.5,
+                   "normalized frequency must be in (0, 0.5)");
+}
+
+double ideal_sine_source::sample(std::size_t n) const {
+    return offset_ +
+           amplitude_ * std::sin(two_pi * normalized_frequency_ * static_cast<double>(n) +
+                                 phase_);
+}
+
+} // namespace bistna::gen

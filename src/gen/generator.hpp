@@ -1,0 +1,93 @@
+// The switched-capacitor sinewave generator (paper Fig. 2, section III.A).
+//
+// A Table-I biquad whose input capacitor is the time-variant array CI(t):
+// each generator-clock cycle the selected capacitor samples the programming
+// DC level V_A+ - V_A- and dumps the charge into the filter.  The output is
+// a smoothed sine at f_wave = f_gen/16 with amplitude 2*(V_A+ - V_A-).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gen/cap_array.hpp"
+#include "gen/quantized_sine.hpp"
+#include "sc/analysis.hpp"
+#include "sc/biquad.hpp"
+#include "sim/process.hpp"
+
+namespace bistna::gen {
+
+/// Configuration of one fabricated generator instance.
+struct generator_params {
+    sc::biquad_caps caps = sc::biquad_caps::table1();
+    sc::opamp_params opamp1 = sc::opamp_params::folded_cascode_035();
+    sc::opamp_params opamp2 = sc::opamp_params::folded_cascode_035();
+    sim::process_params process = sim::process_params::cmos035();
+    std::uint64_t seed = 1;
+
+    /// Fully ideal instance (exact caps, perfect op-amps, no noise).
+    static generator_params ideal();
+};
+
+class sinewave_generator {
+public:
+    explicit sinewave_generator(const generator_params& params);
+
+    /// Program the amplitude: the differential DC level V_A+ - V_A-.
+    /// Output amplitude is approximately 2 * va_diff (Fig. 8a).
+    void set_amplitude(volt va_diff) { va_diff_ = va_diff.value; }
+    volt amplitude_setting() const { return volt{va_diff_}; }
+
+    /// Advance one generator-clock cycle and return the output sample.
+    double step();
+
+    /// Current position within the 16-step period.
+    std::size_t phase_step() const noexcept { return step_ % steps_per_period; }
+
+    /// Run `periods` output periods to flush the startup transient.
+    void settle(std::size_t periods = 32);
+
+    /// Produce `count` output samples at the generator clock rate.
+    std::vector<double> generate(std::size_t count);
+
+    /// Restart from zero state and phase.
+    void reset();
+
+    /// The drawn (mismatched) input array of this instance.
+    const cap_array& array() const noexcept { return array_; }
+    /// The drawn biquad capacitors of this instance.
+    const sc::biquad_caps& drawn_caps() const noexcept { return drawn_caps_; }
+    /// Expected output amplitude for the current setting (ideal model).
+    double expected_amplitude() const;
+
+private:
+    generator_params params_;
+    sc::biquad_caps drawn_caps_;
+    cap_array array_;
+    sc::sc_biquad biquad_;
+    double va_diff_ = 0.0;
+    std::size_t step_ = 0;
+};
+
+/// Ideal discrete-time sine source (reference/bypass experiments):
+/// x[n] = offset + amplitude * sin(2 pi f_norm n + phase).
+class ideal_sine_source {
+public:
+    ideal_sine_source(double amplitude, double normalized_frequency, double phase_rad = 0.0,
+                      double offset = 0.0);
+
+    double sample(std::size_t n) const;
+    double step() { return sample(index_++); }
+    void reset() noexcept { index_ = 0; }
+
+private:
+    double amplitude_;
+    double normalized_frequency_;
+    double phase_;
+    double offset_;
+    std::size_t index_ = 0;
+};
+
+} // namespace bistna::gen

@@ -1,0 +1,35 @@
+#include "gen/quantized_sine.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace bistna::gen {
+
+namespace {
+constexpr std::array<std::uint8_t, steps_per_period> indices = {
+    0, 1, 2, 3, 4, 3, 2, 1, 0, 1, 2, 3, 4, 3, 2, 1};
+} // namespace
+
+generator_control control_sequencer::at(std::size_t step) noexcept {
+    const std::size_t n = step % steps_per_period;
+    return generator_control{indices[n], n >= steps_per_period / 2};
+}
+
+double control_sequencer::ideal_level(std::size_t cap_index) {
+    BISTNA_EXPECTS(cap_index < level_count, "capacitor index out of range");
+    return std::sin(static_cast<double>(cap_index) * pi / 8.0);
+}
+
+double control_sequencer::ideal_step_value(std::size_t step) noexcept {
+    const auto control = at(step);
+    const double level = std::sin(static_cast<double>(control.cap_index) * pi / 8.0);
+    return control.negative ? -level : level;
+}
+
+const std::array<std::uint8_t, steps_per_period>& control_sequencer::index_table() noexcept {
+    return indices;
+}
+
+} // namespace bistna::gen

@@ -1,0 +1,47 @@
+// The generator's digital control sequence (paper Fig. 2c, eqs. (1)-(2)).
+//
+// Over one output period the input capacitor array steps through
+//   CI(t) = (Phi_in - !Phi_in) * sum_k c_k(t) * CI_k,  CI_k = sin(k*pi/8)
+// i.e. 16 generator-clock steps selecting capacitor index
+//   k(n) = {0,1,2,3,4,3,2,1, 0,1,2,3,4,3,2,1}  (n = 0..15)
+// with Phi_in flipping the sign for the second half.  Because
+// sin(n*pi/8) takes exactly the values +/- CI_k, the sampled input sequence
+// is an *exact* sine at f_gen/16 -- the biquad only removes the
+// zero-order-hold staircase images.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bistna::gen {
+
+/// Number of generator-clock steps per output period.
+inline constexpr std::size_t steps_per_period = 16;
+
+/// Number of distinct capacitor levels (CI_0 = 0 is "no cap selected").
+inline constexpr std::size_t level_count = 5;
+
+/// Digital control word for one generator-clock step.
+struct generator_control {
+    std::uint8_t cap_index = 0; ///< which CI_k is switched into the signal path (0..4)
+    bool negative = false;      ///< Phi_in polarity (second half-period)
+};
+
+/// Control sequencer producing the Fig. 2c pattern.
+class control_sequencer {
+public:
+    /// Control word for step n (taken modulo 16).
+    static generator_control at(std::size_t step) noexcept;
+
+    /// Ideal level of capacitor CI_k = sin(k*pi/8).
+    static double ideal_level(std::size_t cap_index);
+
+    /// Ideal signed step value sin(n*pi/8) reconstructed from the controls.
+    static double ideal_step_value(std::size_t step) noexcept;
+
+    /// The full table of capacitor indices over one period.
+    static const std::array<std::uint8_t, steps_per_period>& index_table() noexcept;
+};
+
+} // namespace bistna::gen

@@ -1,0 +1,73 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna::linalg {
+
+namespace {
+
+// Pade-13 coefficients (Higham, "The scaling and squaring method for the
+// matrix exponential revisited", 2005).
+constexpr double pade13[] = {64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+                             1187353796428800.0,  129060195264000.0,   10559470521600.0,
+                             670442572800.0,      33522128640.0,       1323241920.0,
+                             40840800.0,          960960.0,            16380.0,
+                             182.0,               1.0};
+
+} // namespace
+
+matrix expm(const matrix& a) {
+    BISTNA_EXPECTS(a.is_square(), "expm requires a square matrix");
+    const std::size_t n = a.rows();
+
+    // Scale so the norm is below the Pade-13 threshold (theta_13 ~ 5.37).
+    const double norm = a.norm_inf();
+    int squarings = 0;
+    if (norm > 5.37) {
+        squarings = static_cast<int>(std::ceil(std::log2(norm / 5.37)));
+    }
+    matrix scaled = a * std::pow(2.0, -squarings);
+
+    const matrix eye = matrix::identity(n);
+    const matrix a2 = scaled * scaled;
+    const matrix a4 = a2 * a2;
+    const matrix a6 = a4 * a2;
+
+    // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    matrix u_inner = a6 * pade13[13] + a4 * pade13[11] + a2 * pade13[9];
+    u_inner = a6 * u_inner;
+    u_inner += a6 * pade13[7] + a4 * pade13[5] + a2 * pade13[3] + eye * pade13[1];
+    const matrix u = scaled * u_inner;
+
+    // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    matrix v = a6 * pade13[12] + a4 * pade13[10] + a2 * pade13[8];
+    v = a6 * v;
+    v += a6 * pade13[6] + a4 * pade13[4] + a2 * pade13[2] + eye * pade13[0];
+
+    // expm(scaled) = (V - U)^-1 (V + U), then square back.
+    matrix result = solve(v - u, v + u);
+    for (int s = 0; s < squarings; ++s) {
+        result = result * result;
+    }
+    return result;
+}
+
+zoh_pair discretize_zoh(const matrix& a, const matrix& b, double ts) {
+    BISTNA_EXPECTS(a.is_square(), "discretize_zoh: A must be square");
+    BISTNA_EXPECTS(a.rows() == b.rows(), "discretize_zoh: B row count must match A");
+    BISTNA_EXPECTS(ts > 0.0, "discretize_zoh: sample time must be positive");
+
+    const std::size_t n = a.rows();
+    const std::size_t m = b.cols();
+    // Augmented matrix [A B; 0 0] * ts; its exponential's top blocks are
+    // [Ad Bd] (Van Loan's method).
+    matrix augmented(n + m, n + m);
+    augmented.set_block(0, 0, a * ts);
+    augmented.set_block(0, n, b * ts);
+    const matrix phi = expm(augmented);
+    return zoh_pair{phi.block(0, 0, n, n), phi.block(0, n, n, m)};
+}
+
+} // namespace bistna::linalg

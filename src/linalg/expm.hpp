@@ -1,0 +1,25 @@
+// Matrix exponential via scaling-and-squaring with Pade approximation.
+//
+// Used for *exact* zero-order-hold discretization of continuous-time DUT
+// models: because the generator output is piecewise constant on the f_eva
+// sample grid, [Ad Bd; 0 I] = expm([A B; 0 0] * Ts) reproduces the analog
+// filter response sample-exactly (see DESIGN.md section 2).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bistna::linalg {
+
+/// e^A for a square matrix (Pade-13 scaling and squaring, Higham 2005 style
+/// with a fixed degree and norm-based scaling).
+matrix expm(const matrix& a);
+
+/// Zero-order-hold discretization of x' = A x + B u at sample time ts:
+/// returns (Ad, Bd) with Ad = e^{A ts}, Bd = integral_0^ts e^{A s} ds * B.
+struct zoh_pair {
+    matrix ad;
+    matrix bd;
+};
+zoh_pair discretize_zoh(const matrix& a, const matrix& b, double ts);
+
+} // namespace bistna::linalg

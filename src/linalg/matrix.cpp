@@ -1,0 +1,251 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace bistna::linalg {
+
+matrix::matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    BISTNA_EXPECTS(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+matrix matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+    BISTNA_EXPECTS(!rows.empty() && !rows.front().empty(), "matrix rows must be non-empty");
+    matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        BISTNA_EXPECTS(rows[r].size() == m.cols_, "all matrix rows must have equal width");
+        for (std::size_t c = 0; c < m.cols_; ++c) {
+            m(r, c) = rows[r][c];
+        }
+    }
+    return m;
+}
+
+matrix matrix::identity(std::size_t n) {
+    matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+matrix matrix::operator+(const matrix& other) const {
+    BISTNA_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch in +");
+    matrix result = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        result.data_[i] += other.data_[i];
+    }
+    return result;
+}
+
+matrix matrix::operator-(const matrix& other) const {
+    BISTNA_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch in -");
+    matrix result = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        result.data_[i] -= other.data_[i];
+    }
+    return result;
+}
+
+matrix matrix::operator*(const matrix& other) const {
+    BISTNA_EXPECTS(cols_ == other.rows_, "matrix shape mismatch in *");
+    matrix result(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) {
+                continue;
+            }
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+                result(r, c) += a * other(k, c);
+            }
+        }
+    }
+    return result;
+}
+
+matrix matrix::operator*(double k) const {
+    matrix result = *this;
+    result *= k;
+    return result;
+}
+
+matrix& matrix::operator+=(const matrix& other) {
+    BISTNA_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+    return *this;
+}
+
+matrix& matrix::operator*=(double k) {
+    for (double& x : data_) {
+        x *= k;
+    }
+    return *this;
+}
+
+std::vector<double> matrix::apply(const std::vector<double>& x) const {
+    BISTNA_EXPECTS(x.size() == cols_, "vector length mismatch in matrix apply");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            acc += (*this)(r, c) * x[c];
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+matrix matrix::transposed() const {
+    matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            t(c, r) = (*this)(r, c);
+        }
+    }
+    return t;
+}
+
+double matrix::norm_inf() const noexcept {
+    double best = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double row_sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            row_sum += std::abs((*this)(r, c));
+        }
+        best = std::max(best, row_sum);
+    }
+    return best;
+}
+
+matrix matrix::block(std::size_t r0, std::size_t c0, std::size_t block_rows,
+                     std::size_t block_cols) const {
+    BISTNA_EXPECTS(r0 + block_rows <= rows_ && c0 + block_cols <= cols_,
+                   "matrix block out of range");
+    matrix b(block_rows, block_cols);
+    for (std::size_t r = 0; r < block_rows; ++r) {
+        for (std::size_t c = 0; c < block_cols; ++c) {
+            b(r, c) = (*this)(r0 + r, c0 + c);
+        }
+    }
+    return b;
+}
+
+void matrix::set_block(std::size_t r0, std::size_t c0, const matrix& source) {
+    BISTNA_EXPECTS(r0 + source.rows() <= rows_ && c0 + source.cols() <= cols_,
+                   "matrix set_block out of range");
+    for (std::size_t r = 0; r < source.rows(); ++r) {
+        for (std::size_t c = 0; c < source.cols(); ++c) {
+            (*this)(r0 + r, c0 + c) = source(r, c);
+        }
+    }
+}
+
+matrix operator*(double k, const matrix& m) { return m * k; }
+
+namespace {
+
+/// In-place LU decomposition with partial pivoting; returns the permutation.
+std::vector<std::size_t> lu_decompose(matrix& a) {
+    BISTNA_EXPECTS(a.is_square(), "LU requires a square matrix");
+    const std::size_t n = a.rows();
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        perm[i] = i;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(a(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            if (std::abs(a(r, k)) > best) {
+                best = std::abs(a(r, k));
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) {
+            throw bistna::configuration_error("solve: matrix is singular to working precision");
+        }
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(a(k, c), a(pivot, c));
+            }
+            std::swap(perm[k], perm[pivot]);
+        }
+        for (std::size_t r = k + 1; r < n; ++r) {
+            a(r, k) /= a(k, k);
+            const double factor = a(r, k);
+            for (std::size_t c = k + 1; c < n; ++c) {
+                a(r, c) -= factor * a(k, c);
+            }
+        }
+    }
+    return perm;
+}
+
+std::vector<double> lu_solve(const matrix& lu, const std::vector<std::size_t>& perm,
+                             const std::vector<double>& b) {
+    const std::size_t n = lu.rows();
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = b[perm[i]];
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = x[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu(i, j) * x[j];
+        }
+        x[i] = acc;
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= lu(ii, j) * x[j];
+        }
+        x[ii] = acc / lu(ii, ii);
+    }
+    return x;
+}
+
+} // namespace
+
+std::vector<double> solve(matrix a, std::vector<double> b) {
+    BISTNA_EXPECTS(a.rows() == b.size(), "solve: rhs length mismatch");
+    const auto perm = lu_decompose(a);
+    return lu_solve(a, perm, b);
+}
+
+matrix solve(matrix a, matrix b) {
+    BISTNA_EXPECTS(a.rows() == b.rows(), "solve: rhs shape mismatch");
+    const auto perm = lu_decompose(a);
+    matrix x(b.rows(), b.cols());
+    std::vector<double> column(b.rows());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < b.rows(); ++r) {
+            column[r] = b(r, c);
+        }
+        const auto solution = lu_solve(a, perm, column);
+        for (std::size_t r = 0; r < b.rows(); ++r) {
+            x(r, c) = solution[r];
+        }
+    }
+    return x;
+}
+
+std::ostream& operator<<(std::ostream& os, const matrix& m) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        os << (r == 0 ? "[" : " ");
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            os << m(r, c) << (c + 1 == m.cols() ? "" : ", ");
+        }
+        os << (r + 1 == m.rows() ? "]" : ";\n");
+    }
+    return os;
+}
+
+} // namespace bistna::linalg

@@ -1,0 +1,78 @@
+// Small dense real matrices.
+//
+// The DUT models are low-order continuous-time state spaces (order 2..6),
+// so a simple row-major dynamic matrix with LU solve is all we need; no
+// external linear-algebra dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace bistna::linalg {
+
+class matrix {
+public:
+    matrix() = default;
+
+    /// rows x cols zero matrix.
+    matrix(std::size_t rows, std::size_t cols);
+
+    /// Build from nested initializer-like data; all rows must have equal width.
+    static matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+    /// n x n identity.
+    static matrix identity(std::size_t n);
+
+    /// n x n zero matrix.
+    static matrix zero(std::size_t n) { return matrix(n, n); }
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool is_square() const noexcept { return rows_ == cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    matrix operator+(const matrix& other) const;
+    matrix operator-(const matrix& other) const;
+    matrix operator*(const matrix& other) const;
+    matrix operator*(double k) const;
+    matrix& operator+=(const matrix& other);
+    matrix& operator*=(double k);
+
+    /// Multiply by a vector; x.size() must equal cols().
+    std::vector<double> apply(const std::vector<double>& x) const;
+
+    matrix transposed() const;
+
+    /// Maximum absolute row sum (induced infinity norm).
+    double norm_inf() const noexcept;
+
+    /// Extract the block [r0, r0+rows) x [c0, c0+cols).
+    matrix block(std::size_t r0, std::size_t c0, std::size_t block_rows,
+                 std::size_t block_cols) const;
+
+    /// Paste `source` with its top-left corner at (r0, c0).
+    void set_block(std::size_t r0, std::size_t c0, const matrix& source);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+matrix operator*(double k, const matrix& m);
+
+/// Solve A x = b via partial-pivot LU; throws configuration_error if A is
+/// singular to working precision.
+std::vector<double> solve(matrix a, std::vector<double> b);
+
+/// Solve A X = B for a matrix right-hand side.
+matrix solve(matrix a, matrix b);
+
+std::ostream& operator<<(std::ostream& os, const matrix& m);
+
+} // namespace bistna::linalg

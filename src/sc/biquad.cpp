@@ -1,0 +1,42 @@
+#include "sc/biquad.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bistna::sc {
+
+sc_biquad::sc_biquad(biquad_caps caps, opamp_params opamp1, opamp_params opamp2,
+                     bistna::rng noise_rng)
+    : caps_(caps),
+      integrator1_(caps.b, caps.f, opamp1, noise_rng.spawn()),
+      integrator2_(caps.d, 0.0, opamp2, noise_rng.spawn()) {
+    BISTNA_EXPECTS(caps.a > 0 && caps.b > 0 && caps.c > 0 && caps.d > 0 && caps.f >= 0,
+                   "biquad capacitors must be positive (F may be zero)");
+}
+
+double sc_biquad::step(double input_voltage, double input_cap) {
+    // Phase 2 of cycle n: op-amp 1 receives the input-array charge and the
+    // resonator feedback sampled from v2[n-1].
+    const std::array<branch, 2> into1 = {
+        branch{caps_.cin_scale * input_cap, input_voltage},
+        branch{caps_.a, integrator2_.output()},
+    };
+    const double v1_new = integrator1_.transfer(into1);
+
+    // Phase 1 of cycle n+1: op-amp 2 integrates v1[n] non-inverting
+    // (the switch phasing flips the charge polarity, hence -C).
+    const branch into2{-caps_.c, v1_new};
+    return integrator2_.transfer(into2);
+}
+
+void sc_biquad::reset() {
+    integrator1_.reset();
+    integrator2_.reset();
+}
+
+std::size_t sc_biquad::clip_events() const noexcept {
+    return integrator1_.clip_events() + integrator2_.clip_events();
+}
+
+} // namespace bistna::sc

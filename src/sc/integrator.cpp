@@ -1,0 +1,58 @@
+#include "sc/integrator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna::sc {
+
+sc_integrator::sc_integrator(double feedback_cap, double damping_cap, opamp_params opamp,
+                             bistna::rng noise_rng)
+    : feedback_cap_(feedback_cap), damping_cap_(damping_cap), opamp_(opamp),
+      rng_(noise_rng) {
+    BISTNA_EXPECTS(feedback_cap > 0.0, "feedback capacitor must be positive");
+    BISTNA_EXPECTS(damping_cap >= 0.0, "damping capacitor must be non-negative");
+}
+
+double sc_integrator::transfer(std::span<const branch> branches) {
+    double injected_charge = 0.0;
+    double total_input_cap = 0.0;
+    for (const branch& b : branches) {
+        injected_charge += b.cap * b.voltage;
+        total_input_cap += std::abs(b.cap);
+    }
+
+    // Input-referred offset and sampled kT/C-style noise are transferred
+    // through the same capacitor divider as the signal.
+    const double disturbance = opamp_.offset_volts +
+                               (opamp_.noise_rms > 0.0 ? rng_.gaussian(0.0, opamp_.noise_rms)
+                                                       : 0.0);
+    injected_charge += (total_input_cap + feedback_cap_) * -disturbance;
+
+    // Ideal charge conservation at the virtual ground.
+    const double total_feedback = feedback_cap_ + damping_cap_;
+    const double v_ideal = (feedback_cap_ * state_ - injected_charge) / total_feedback;
+
+    // Finite DC gain: a fraction of the charge fails to transfer because the
+    // virtual ground sits at -v_out/A instead of 0.  First-order model:
+    // the step toward the ideal value is scaled by 1/(1 + loading/A).
+    const double gain = opamp_.dc_gain_linear();
+    const double loading = (total_input_cap + total_feedback) / total_feedback;
+    const double gain_error = loading / gain;
+
+    // Incomplete settling leaves a further fraction of the step behind.
+    const double step_scale = (1.0 - gain_error) * (1.0 - opamp_.settling_error);
+
+    double v_new = state_ + (v_ideal - state_) * step_scale;
+
+    // Static output-stage nonlinearity and swing limit.
+    v_new = opamp_.apply_nonlinearity(v_new);
+    const double clipped = opamp_.clip(v_new);
+    if (clipped != v_new) {
+        ++clip_events_;
+    }
+    state_ = clipped;
+    return state_;
+}
+
+} // namespace bistna::sc

@@ -1,0 +1,48 @@
+#include "sc/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bistna::sc {
+
+opamp_params opamp_params::ideal() {
+    opamp_params p;
+    p.dc_gain_db = 400.0; // effectively infinite: gain error ~ 1e-20
+    p.settling_error = 0.0;
+    p.output_swing = std::numeric_limits<double>::infinity();
+    p.offset_volts = 0.0;
+    p.noise_rms = 0.0;
+    p.hd2 = 0.0;
+    p.hd3 = 0.0;
+    return p;
+}
+
+opamp_params opamp_params::folded_cascode_035() {
+    opamp_params p;
+    p.dc_gain_db = 72.0;
+    p.settling_error = 2.0e-5;
+    p.output_swing = 1.4;
+    p.offset_volts = 0.0;
+    p.noise_rms = 40.0e-6;
+    // Weak output-stage compression: calibrated against Fig. 8b
+    // (~70 dB SFDR / ~67 dB THD at 1 Vpp output).
+    p.hd2 = 7.0e-4;
+    p.hd3 = 2.0e-3;
+    return p;
+}
+
+double opamp_params::dc_gain_linear() const { return std::pow(10.0, dc_gain_db / 20.0); }
+
+double opamp_params::apply_nonlinearity(double v) const {
+    if (hd2 == 0.0 && hd3 == 0.0) {
+        return v;
+    }
+    return v + hd2 * v * v + hd3 * v * v * v;
+}
+
+double opamp_params::clip(double v) const {
+    return std::clamp(v, -output_swing, output_swing);
+}
+
+} // namespace bistna::sc

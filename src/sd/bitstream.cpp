@@ -1,0 +1,50 @@
+#include "sd/bitstream.hpp"
+
+#include "common/error.hpp"
+
+namespace bistna::sd {
+
+long long accumulate_bits(const std::vector<int>& bits) {
+    long long acc = 0;
+    for (int b : bits) {
+        acc += b;
+    }
+    return acc;
+}
+
+std::vector<long long> running_sum(const std::vector<int>& bits) {
+    std::vector<long long> out;
+    out.reserve(bits.size());
+    long long acc = 0;
+    for (int b : bits) {
+        acc += b;
+        out.push_back(acc);
+    }
+    return out;
+}
+
+double bitstream_mean_volts(const std::vector<int>& bits, double vref) {
+    BISTNA_EXPECTS(!bits.empty(), "bitstream mean of empty stream");
+    return vref * static_cast<double>(accumulate_bits(bits)) /
+           static_cast<double>(bits.size());
+}
+
+std::vector<double> boxcar_decode(const std::vector<int>& bits, std::size_t window,
+                                  double vref) {
+    BISTNA_EXPECTS(window > 0, "boxcar window must be positive");
+    BISTNA_EXPECTS(bits.size() >= window, "bitstream shorter than boxcar window");
+    std::vector<double> out;
+    out.reserve(bits.size() - window + 1);
+    long long acc = 0;
+    for (std::size_t i = 0; i < window; ++i) {
+        acc += bits[i];
+    }
+    out.push_back(vref * static_cast<double>(acc) / static_cast<double>(window));
+    for (std::size_t i = window; i < bits.size(); ++i) {
+        acc += bits[i] - bits[i - window];
+        out.push_back(vref * static_cast<double>(acc) / static_cast<double>(window));
+    }
+    return out;
+}
+
+} // namespace bistna::sd

@@ -1,0 +1,27 @@
+// Bitstream utilities: the digital side of the evaluator front-end.
+//
+// Bits are stored as +1/-1 integers (the counter hardware sums them
+// directly; an up/down counter in the paper's 300x300 um digital block).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bistna::sd {
+
+/// Sum of a +/-1 bitstream (what the signature counters compute).
+long long accumulate_bits(const std::vector<int>& bits);
+
+/// Running integral of a bitstream (for convergence plots).
+std::vector<long long> running_sum(const std::vector<int>& bits);
+
+/// Mean of the bitstream scaled to volts: vref * sum/len.
+double bitstream_mean_volts(const std::vector<int>& bits, double vref);
+
+/// Reconstruct the low-frequency content with a boxcar (moving-average)
+/// filter of the given length -- a quick-look decimator for debugging and
+/// for the oscilloscope baseline to consume modulator output.
+std::vector<double> boxcar_decode(const std::vector<int>& bits, std::size_t window,
+                                  double vref);
+
+} // namespace bistna::sd

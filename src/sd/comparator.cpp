@@ -1,0 +1,8 @@
+#include "sd/comparator.hpp"
+
+// comparator is header-only; this translation unit anchors the library.
+namespace bistna::sd {
+namespace {
+[[maybe_unused]] constexpr int anchor = 0;
+} // namespace
+} // namespace bistna::sd

@@ -1,0 +1,35 @@
+// Clocked comparator (dynamic latch) used by the sigma-delta modulator.
+//
+// Behavioral non-idealities: input-referred offset and hysteresis.  Both
+// fold into the modulator's effective offset/dead-zone; the signature
+// arithmetic cancels the offset (paper section II) and the +/-4 bound
+// absorbs the rest, which the ablation benches verify.
+#pragma once
+
+namespace bistna::sd {
+
+class comparator {
+public:
+    comparator(double offset_volts = 0.0, double hysteresis_volts = 0.0)
+        : offset_(offset_volts), hysteresis_(hysteresis_volts) {}
+
+    /// Latch decision: returns +1 or -1.
+    int decide(double input) noexcept {
+        const double threshold =
+            offset_ + (last_decision_ > 0 ? -hysteresis_ : +hysteresis_) * 0.5;
+        last_decision_ = input >= threshold ? +1 : -1;
+        return last_decision_;
+    }
+
+    void reset() noexcept { last_decision_ = +1; }
+
+    double offset() const noexcept { return offset_; }
+    double hysteresis() const noexcept { return hysteresis_; }
+
+private:
+    double offset_;
+    double hysteresis_;
+    int last_decision_ = +1;
+};
+
+} // namespace bistna::sd

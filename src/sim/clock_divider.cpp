@@ -1,0 +1,8 @@
+#include "sim/clock_divider.hpp"
+
+// clock_divider is header-only; this translation unit anchors the library.
+namespace bistna::sim {
+namespace {
+[[maybe_unused]] constexpr int anchor = 0;
+} // namespace
+} // namespace bistna::sim

@@ -1,0 +1,42 @@
+// Integer clock divider (the Fig. 1 "1/6" block) and a two-phase
+// non-overlapping clock sequencer for SC blocks.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace bistna::sim {
+
+/// Divide an input tick stream by an integer ratio.  tick() is called once
+/// per fast-clock cycle and returns true on the cycles where the divided
+/// clock fires (once every `ratio` calls, on the first).
+class clock_divider {
+public:
+    explicit clock_divider(std::size_t ratio) : ratio_(ratio) {
+        BISTNA_EXPECTS(ratio > 0, "divider ratio must be positive");
+    }
+
+    /// Advance one fast-clock cycle; true when the slow clock fires.
+    bool tick() noexcept {
+        const bool fires = (count_ == 0);
+        count_ = (count_ + 1) % ratio_;
+        return fires;
+    }
+
+    void reset() noexcept { count_ = 0; }
+    std::size_t ratio() const noexcept { return ratio_; }
+    std::size_t phase() const noexcept { return count_; }
+
+private:
+    std::size_t ratio_;
+    std::size_t count_ = 0;
+};
+
+/// Phases of a two-phase non-overlapping SC clock within one clock cycle.
+enum class sc_phase {
+    phase1, ///< sampling phase (psi_1 / phi_1)
+    phase2  ///< charge-transfer phase (psi_2 / phi_2)
+};
+
+} // namespace bistna::sim

@@ -1,0 +1,15 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bistna::sim {
+
+double ktc_noise_rms(double capacitance_farad, double temperature_kelvin) {
+    BISTNA_EXPECTS(capacitance_farad > 0.0, "capacitance must be positive");
+    BISTNA_EXPECTS(temperature_kelvin > 0.0, "temperature must be positive");
+    return std::sqrt(boltzmann_k * temperature_kelvin / capacitance_farad);
+}
+
+} // namespace bistna::sim

@@ -1,0 +1,36 @@
+// Noise models for the behavioral analog substrate.
+//
+// The dominant noise in SC circuits is sampled thermal noise: every
+// capacitor-sampling operation freezes kT/C volts (rms) onto the cap.  The
+// lab measurements in the paper sit on this floor, so the simulator
+// reproduces it with seeded Gaussian sources.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace bistna::sim {
+
+/// Boltzmann constant (J/K).
+inline constexpr double boltzmann_k = 1.380649e-23;
+
+/// rms voltage of kT/C sampling noise for a capacitance in farads.
+double ktc_noise_rms(double capacitance_farad, double temperature_kelvin = 300.0);
+
+/// A seeded Gaussian voltage-noise source.
+class noise_source {
+public:
+    /// rms = 0 produces a silent source (ideal element).
+    noise_source(double rms_volts, rng generator)
+        : rms_(rms_volts), rng_(generator) {}
+
+    /// One noise sample (volts).
+    double sample() noexcept { return rms_ == 0.0 ? 0.0 : rng_.gaussian(0.0, rms_); }
+
+    double rms() const noexcept { return rms_; }
+
+private:
+    double rms_;
+    rng rng_;
+};
+
+} // namespace bistna::sim

@@ -1,0 +1,28 @@
+#include "sim/timebase.hpp"
+
+#include "common/error.hpp"
+
+namespace bistna::sim {
+
+timebase::timebase(hertz master_clock) : master_(master_clock) {
+    BISTNA_EXPECTS(master_clock.value > 0.0, "master clock frequency must be positive");
+}
+
+timebase timebase::for_wave_frequency(hertz f_wave) {
+    BISTNA_EXPECTS(f_wave.value > 0.0, "wave frequency must be positive");
+    return timebase(hertz{f_wave.value * static_cast<double>(oversampling_ratio)});
+}
+
+hertz timebase::generator_clock() const noexcept {
+    return master_ / static_cast<double>(generator_divider);
+}
+
+hertz timebase::wave_frequency() const noexcept {
+    return master_ / static_cast<double>(oversampling_ratio);
+}
+
+seconds timebase::sample_period() const noexcept { return period_of(master_); }
+
+seconds timebase::wave_period() const noexcept { return period_of(wave_frequency()); }
+
+} // namespace bistna::sim

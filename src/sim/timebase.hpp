@@ -1,0 +1,53 @@
+// The network analyzer's clocking scheme (paper Fig. 1).
+//
+// A single external master clock at f_eva drives everything:
+//   - a 1:6 divider produces the generator clock  f_gen  = f_eva / 6
+//   - the generator's 16-step sequence produces   f_wave = f_gen / 16
+//   - hence the sigma-delta oversampling ratio    N      = f_eva / f_wave = 96
+// is set *by construction*.  This "inherent synchronization" is the key
+// architectural feature: sweeping the master clock moves f_wave without
+// changing N, so evaluation accuracy is frequency-independent.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace bistna::sim {
+
+class timebase {
+public:
+    /// Divider between master clock and generator clock (Fig. 1: "1/6").
+    static constexpr std::size_t generator_divider = 6;
+    /// Generator steps per output period (Fig. 2c: 16 * 1/f_gen).
+    static constexpr std::size_t steps_per_period = 16;
+    /// Oversampling ratio N = f_eva / f_wave fixed by construction.
+    static constexpr std::size_t oversampling_ratio = generator_divider * steps_per_period;
+
+    /// Build a timebase from the master clock; throws precondition_error on
+    /// a non-positive frequency.
+    explicit timebase(hertz master_clock);
+
+    /// Build a timebase that produces the requested signal frequency
+    /// (master = 96 * f_wave).
+    static timebase for_wave_frequency(hertz f_wave);
+
+    hertz master() const noexcept { return master_; }            ///< f_eva
+    hertz generator_clock() const noexcept;                      ///< f_gen = f_eva/6
+    hertz wave_frequency() const noexcept;                       ///< f_wave = f_eva/96
+    seconds sample_period() const noexcept;                      ///< Ts = 1/f_eva
+    seconds wave_period() const noexcept;                        ///< T = 1/f_wave
+
+    /// Samples per signal period (= N = 96).
+    static constexpr std::size_t samples_per_period() noexcept { return oversampling_ratio; }
+
+    /// Number of master-clock samples covering M signal periods.
+    std::size_t samples_for_periods(std::size_t m) const noexcept {
+        return m * oversampling_ratio;
+    }
+
+private:
+    hertz master_;
+};
+
+} // namespace bistna::sim

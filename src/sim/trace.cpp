@@ -1,0 +1,18 @@
+#include "sim/trace.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace bistna::sim {
+
+void trace::write_csv(const std::string& path) const {
+    BISTNA_EXPECTS(sample_rate_hz_ > 0.0, "trace needs a sample rate to write time axis");
+    csv_writer writer(path);
+    writer.header({"time_s", name_.empty() ? std::string("value") : name_});
+    const double ts = 1.0 / sample_rate_hz_;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        writer.row({static_cast<double>(i) * ts, samples_[i]});
+    }
+}
+
+} // namespace bistna::sim

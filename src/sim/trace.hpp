@@ -1,0 +1,35 @@
+// Signal trace recorder: captures a named sample stream during a
+// simulation run and dumps it to CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bistna::sim {
+
+class trace {
+public:
+    trace() = default;
+    explicit trace(std::string name, double sample_rate_hz = 0.0)
+        : name_(std::move(name)), sample_rate_hz_(sample_rate_hz) {}
+
+    void push(double value) { samples_.push_back(value); }
+    void reserve(std::size_t n) { samples_.reserve(n); }
+    void clear() noexcept { samples_.clear(); }
+
+    const std::vector<double>& samples() const noexcept { return samples_; }
+    std::size_t size() const noexcept { return samples_.size(); }
+    bool empty() const noexcept { return samples_.empty(); }
+    const std::string& name() const noexcept { return name_; }
+    double sample_rate_hz() const noexcept { return sample_rate_hz_; }
+
+    /// Write "time,value" rows; requires a sample rate.
+    void write_csv(const std::string& path) const;
+
+private:
+    std::string name_;
+    double sample_rate_hz_ = 0.0;
+    std::vector<double> samples_;
+};
+
+} // namespace bistna::sim

@@ -1,0 +1,73 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/oscilloscope.hpp"
+#include "common/math_util.hpp"
+
+namespace {
+
+using namespace bistna;
+using baseline::oscilloscope;
+using baseline::oscilloscope_params;
+
+eval::sample_source distorted_tone(double fs) {
+    return [fs](std::size_t n) {
+        const double t = static_cast<double>(n) / fs;
+        const double x = 0.4 * std::sin(two_pi * 1600.0 * t);
+        return x + 0.4e-3 * std::sin(two_pi * 3200.0 * t + 0.4) +
+               0.2e-3 * std::sin(two_pi * 4800.0 * t + 1.1);
+    };
+}
+
+TEST(Oscilloscope, IdealScopeReadsConstructedHarmonics) {
+    auto params = oscilloscope_params::ideal();
+    params.record_length = 1 << 16;
+    oscilloscope scope(params);
+    const double fs = 96.0 * 1600.0;
+    const auto record = scope.acquire(distorted_tone(fs), fs);
+    const auto harmonics = scope.measure_harmonics(record, fs, 1600.0, 3);
+    ASSERT_EQ(harmonics.harmonic_dbc.size(), 2u);
+    EXPECT_NEAR(harmonics.fundamental_amplitude, 0.4, 0.005);
+    EXPECT_NEAR(harmonics.harmonic_dbc[0], 20.0 * std::log10(0.4e-3 / 0.4), 0.5);
+    EXPECT_NEAR(harmonics.harmonic_dbc[1], 20.0 * std::log10(0.2e-3 / 0.4), 0.7);
+}
+
+TEST(Oscilloscope, QuantizerLimitsFloor) {
+    oscilloscope_params params; // 8-bit default
+    params.record_length = 1 << 14;
+    params.noise_rms = 0.0;
+    oscilloscope scope(params);
+    const double fs = 96.0 * 1600.0;
+    // Clean tone: any reported distortion floor comes from the quantizer.
+    const auto record = scope.acquire(
+        [fs](std::size_t n) {
+            return 0.4 * std::sin(two_pi * 1600.0 * static_cast<double>(n) / fs);
+        },
+        fs);
+    const auto harmonics = scope.measure_harmonics(record, fs, 1600.0, 3);
+    // 8-bit scope can't see below roughly -55..-60 dBc reliably.
+    for (double dbc : harmonics.harmonic_dbc) {
+        EXPECT_LT(dbc, -45.0);
+    }
+}
+
+TEST(Oscilloscope, ClipsAtFullScale) {
+    oscilloscope_params params = oscilloscope_params::ideal();
+    params.full_scale = 0.5;
+    params.record_length = 4096;
+    oscilloscope scope(params);
+    const auto record = scope.acquire([](std::size_t) { return 2.0; }, 1e6);
+    for (double v : record) {
+        EXPECT_LE(v, 0.5 + 1e-9);
+    }
+}
+
+TEST(Oscilloscope, RejectsBadConfig) {
+    oscilloscope_params params;
+    params.full_scale = 0.0;
+    EXPECT_THROW(oscilloscope s(params), precondition_error);
+}
+
+} // namespace

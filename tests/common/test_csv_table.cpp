@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace bistna;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const std::string path = "/tmp/bistna_test_csv.csv";
+    {
+        csv_writer writer(path);
+        writer.header({"f_hz", "gain_db"});
+        writer.row({1000.0, -3.01});
+        writer.row({2000.0, -12.3});
+    }
+    const std::string content = read_file(path);
+    EXPECT_NE(content.find("f_hz,gain_db"), std::string::npos);
+    EXPECT_NE(content.find("1000"), std::string::npos);
+    EXPECT_NE(content.find("-12.3"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecialCells) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, UnwritablePathThrows) {
+    EXPECT_THROW(csv_writer("/nonexistent_dir_xyz/file.csv"), configuration_error);
+}
+
+TEST(AsciiTable, AlignsColumnsAndCountsRows) {
+    ascii_table table({"experiment", "paper", "measured"});
+    table.add_row({"SFDR (dB)", "70", "69.8"});
+    table.add_row(std::vector<double>{1.0, 2.0, 3.0});
+    EXPECT_EQ(table.rows(), 2u);
+    EXPECT_EQ(table.columns(), 3u);
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("experiment"), std::string::npos);
+    EXPECT_NE(text.find("SFDR (dB)"), std::string::npos);
+    EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(AsciiTable, RowWidthMismatchThrows) {
+    ascii_table table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), precondition_error);
+}
+
+TEST(Format, FixedAndScientific) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+    EXPECT_NE(format_sci(12345.678).find('e'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+// Interval arithmetic: the error-bound propagation engine of eqs. (3)-(5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/interval.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(Interval, ConstructionAndAccessors) {
+    const interval iv(-1.0, 3.0);
+    EXPECT_DOUBLE_EQ(iv.lo(), -1.0);
+    EXPECT_DOUBLE_EQ(iv.hi(), 3.0);
+    EXPECT_DOUBLE_EQ(iv.width(), 4.0);
+    EXPECT_DOUBLE_EQ(iv.midpoint(), 1.0);
+    EXPECT_DOUBLE_EQ(iv.radius(), 2.0);
+    EXPECT_TRUE(iv.contains(0.0));
+    EXPECT_FALSE(iv.contains(3.5));
+    EXPECT_THROW(interval(1.0, 0.0), precondition_error);
+}
+
+TEST(Interval, FactoryHelpers) {
+    EXPECT_EQ(interval::from_unordered(5.0, 2.0), interval(2.0, 5.0));
+    EXPECT_EQ(interval::centered(1.0, 0.5), interval(0.5, 1.5));
+    EXPECT_THROW(interval::centered(0.0, -1.0), precondition_error);
+}
+
+TEST(Interval, ArithmeticContainment) {
+    // Property: for random a in A, b in B, a op b must lie in A op B.
+    rng generator(99);
+    for (int trial = 0; trial < 500; ++trial) {
+        const interval a = interval::from_unordered(generator.uniform(-5, 5),
+                                                    generator.uniform(-5, 5));
+        const interval b = interval::from_unordered(generator.uniform(-5, 5),
+                                                    generator.uniform(-5, 5));
+        const double x = generator.uniform(a.lo(), a.hi());
+        const double y = generator.uniform(b.lo(), b.hi());
+        EXPECT_TRUE((a + b).contains(x + y));
+        EXPECT_TRUE((a - b).contains(x - y));
+        EXPECT_TRUE((a * b).contains(x * y));
+        if (!b.contains_zero()) {
+            EXPECT_TRUE((a / b).contains(x / y));
+        }
+    }
+}
+
+TEST(Interval, DivisionByZeroIntervalThrows) {
+    EXPECT_THROW(interval(1.0, 2.0) / interval(-1.0, 1.0), configuration_error);
+}
+
+TEST(Interval, ScalarOperations) {
+    const interval iv(1.0, 2.0);
+    EXPECT_EQ(iv * -2.0, interval(-4.0, -2.0));
+    EXPECT_EQ(iv + 1.0, interval(2.0, 3.0));
+    EXPECT_EQ(-iv, interval(-2.0, -1.0));
+    EXPECT_THROW(iv / 0.0, precondition_error);
+}
+
+TEST(Interval, SquareHandlesSignStraddle) {
+    EXPECT_EQ(square(interval(-2.0, 1.0)), interval(0.0, 4.0));
+    EXPECT_EQ(square(interval(1.0, 3.0)), interval(1.0, 9.0));
+    EXPECT_EQ(square(interval(-3.0, -1.0)), interval(1.0, 9.0));
+}
+
+TEST(Interval, HypotIsEq4MinMax) {
+    // The eq. (4) box: I1 = 100 +/- 4, I2 = -50 +/- 4.
+    const interval i1 = interval::centered(100.0, 4.0);
+    const interval i2 = interval::centered(-50.0, 4.0);
+    const interval h = hypot(i1, i2);
+    // Extremes at the corners with max/min |I1|, |I2|.
+    EXPECT_NEAR(h.lo(), std::hypot(96.0, 46.0), 1e-12);
+    EXPECT_NEAR(h.hi(), std::hypot(104.0, 54.0), 1e-12);
+    // Containment property for random points in the box.
+    rng generator(3);
+    for (int t = 0; t < 200; ++t) {
+        const double a = generator.uniform(i1.lo(), i1.hi());
+        const double b = generator.uniform(i2.lo(), i2.hi());
+        EXPECT_TRUE(h.contains(std::hypot(a, b)));
+    }
+}
+
+TEST(Interval, HypotStraddlingZero) {
+    const interval h = hypot(interval(-3.0, 3.0), interval(-4.0, 2.0));
+    EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 5.0);
+}
+
+TEST(Interval, Atan2BoxContainsCornerPhases) {
+    const interval s(0.5, 1.0);
+    const interval c(0.5, 1.0);
+    const interval phase = atan2_box(s, c);
+    EXPECT_TRUE(phase.contains(std::atan2(0.75, 0.75)));
+    EXPECT_TRUE(phase.contains(std::atan2(0.5, 1.0)));
+    EXPECT_TRUE(phase.contains(std::atan2(1.0, 0.5)));
+}
+
+TEST(Interval, Atan2BoxNearSeamStaysNarrow) {
+    // Box near the -pi/+pi seam must not blow up to the whole circle.
+    const interval s(-0.1, 0.1);
+    const interval c(-1.0, -0.9);
+    const interval phase = atan2_box(s, c);
+    EXPECT_LT(phase.width(), 0.3);
+}
+
+TEST(Interval, Atan2BoxOriginThrows) {
+    EXPECT_THROW(atan2_box(interval(-1.0, 1.0), interval(-1.0, 1.0)), configuration_error);
+}
+
+TEST(Interval, HullAndIntersect) {
+    EXPECT_EQ(hull(interval(0.0, 1.0), interval(2.0, 3.0)), interval(0.0, 3.0));
+    EXPECT_EQ(intersect(interval(0.0, 2.0), interval(1.0, 3.0)), interval(1.0, 2.0));
+    EXPECT_THROW(intersect(interval(0.0, 1.0), interval(2.0, 3.0)), configuration_error);
+}
+
+TEST(Interval, SqrtMonotone) {
+    EXPECT_EQ(sqrt(interval(4.0, 9.0)), interval(2.0, 3.0));
+    EXPECT_THROW(sqrt(interval(-1.0, 1.0)), precondition_error);
+}
+
+} // namespace

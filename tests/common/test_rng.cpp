@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace {
+
+using bistna::rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+    rng a(123);
+    rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    rng a(1);
+    rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += a.next_u64() == b.next_u64();
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    rng generator(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = generator.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected) {
+    rng generator(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = generator.uniform(-2.5, 4.0);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 4.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+    rng generator(42);
+    bistna::running_stats stats;
+    for (int i = 0; i < 200000; ++i) {
+        stats.add(generator.gaussian(1.5, 0.5));
+    }
+    EXPECT_NEAR(stats.mean(), 1.5, 0.01);
+    EXPECT_NEAR(stats.stddev(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+    rng generator(9);
+    int counts[5] = {0, 0, 0, 0, 0};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[generator.uniform_int(5)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+    }
+}
+
+TEST(Rng, BernoulliProbability) {
+    rng generator(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += generator.bernoulli(0.3);
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SpawnedStreamsAreIndependentButDeterministic) {
+    rng parent1(77);
+    rng parent2(77);
+    rng child1 = parent1.spawn();
+    rng child2 = parent2.spawn();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(child1.next_u64(), child2.next_u64());
+    }
+    // Child differs from parent continuation.
+    EXPECT_NE(parent1.next_u64(), child1.next_u64());
+}
+
+} // namespace

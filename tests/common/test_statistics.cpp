@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(RunningStats, MeanVarianceMinMax) {
+    running_stats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.add(x);
+    }
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 4.571428571, 1e-9); // unbiased
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.range(), 7.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+    running_stats stats;
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+    EXPECT_THROW((void)percentile({}, 0.5), precondition_error);
+    EXPECT_THROW((void)percentile(v, 1.5), precondition_error);
+}
+
+TEST(Summarize, FullSummary) {
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i) {
+        v.push_back(static_cast<double>(i));
+    }
+    const auto s = summarize(v);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_DOUBLE_EQ(s.median, 50.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.p05, 5.95, 1e-9);
+    EXPECT_NEAR(s.p95, 95.05, 1e-9);
+    EXPECT_THROW((void)summarize({}), precondition_error);
+}
+
+TEST(Rms, KnownValues) {
+    EXPECT_DOUBLE_EQ(rms({3.0, 4.0, 3.0, 4.0}), std::sqrt(12.5));
+    EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(PeakAbs, KnownValues) {
+    EXPECT_DOUBLE_EQ(peak_abs({-3.0, 2.0, 1.0}), 3.0);
+    EXPECT_DOUBLE_EQ(peak_abs({}), 0.0);
+}
+
+} // namespace

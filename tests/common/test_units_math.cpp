@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(Units, FrequencyArithmetic) {
+    const hertz master = megahertz(6.0);
+    EXPECT_DOUBLE_EQ((master / 6.0).value, 1e6);
+    EXPECT_DOUBLE_EQ(master / kilohertz(62.5), 96.0);
+    EXPECT_DOUBLE_EQ((2.0 * kilohertz(1.0)).value, 2000.0);
+    EXPECT_DOUBLE_EQ(period_of(kilohertz(1.0)).value, 1e-3);
+}
+
+TEST(Units, VoltageArithmetic) {
+    const volt va_plus = millivolt(75.0);
+    const volt va_minus = millivolt(-75.0);
+    EXPECT_DOUBLE_EQ((va_plus - va_minus).value, 0.15);
+    EXPECT_DOUBLE_EQ((2.0 * va_plus).value, 0.15);
+    EXPECT_TRUE(va_plus > va_minus);
+}
+
+TEST(Decibels, AmplitudeConversionsRoundTrip) {
+    EXPECT_DOUBLE_EQ(amplitude_ratio_to_db(10.0), 20.0);
+    EXPECT_DOUBLE_EQ(amplitude_ratio_to_db(0.1), -20.0);
+    EXPECT_NEAR(db_to_amplitude_ratio(-6.0), 0.5012, 1e-4);
+    for (double db : {-70.0, -3.0, 0.0, 12.0}) {
+        EXPECT_NEAR(amplitude_ratio_to_db(db_to_amplitude_ratio(db)), db, 1e-12);
+    }
+    EXPECT_EQ(amplitude_ratio_to_db(0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Decibels, Fig9FullScaleReference) {
+    // The paper's Fig. 9 y-axis: A1 = 0.2 V reads ~ -10.9 dB re 0.7 V FS.
+    EXPECT_NEAR(amplitude_to_dbfs(0.2, 0.7), -10.88, 0.01);
+    EXPECT_NEAR(amplitude_to_dbfs(0.02, 0.7), -30.88, 0.01);
+    EXPECT_NEAR(amplitude_to_dbfs(0.002, 0.7), -50.88, 0.01);
+}
+
+TEST(MathUtil, WrapPhase) {
+    EXPECT_NEAR(wrap_phase(3.0 * pi), pi, 1e-12);
+    EXPECT_NEAR(wrap_phase(-3.0 * pi), pi, 1e-12);
+    EXPECT_NEAR(wrap_phase(0.5), 0.5, 1e-15);
+    for (double x : {-10.0, -1.0, 0.0, 2.0, 100.0}) {
+        const double w = wrap_phase(x);
+        EXPECT_GT(w, -pi - 1e-12);
+        EXPECT_LE(w, pi + 1e-12);
+        EXPECT_NEAR(std::sin(w), std::sin(x), 1e-9);
+        EXPECT_NEAR(std::cos(w), std::cos(x), 1e-9);
+    }
+}
+
+TEST(MathUtil, UnwrapStep) {
+    double unwrapped = 0.0;
+    // A phase ramp crossing the seam must unwrap monotonically.
+    for (int i = 1; i <= 100; ++i) {
+        const double truth = 0.2 * i;
+        unwrapped = unwrap_step(unwrapped, wrap_phase(truth));
+        EXPECT_NEAR(unwrapped, truth, 1e-9);
+    }
+}
+
+TEST(MathUtil, Sinc) {
+    EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+    EXPECT_NEAR(sinc(0.5), 2.0 / pi, 1e-12);
+    EXPECT_NEAR(sinc(1.0), 0.0, 1e-12);
+    // The generator hold droop used by the analyzer: sinc(1/16).
+    EXPECT_NEAR(sinc(1.0 / 16.0), 0.993587, 1e-5);
+}
+
+TEST(MathUtil, PowersOfTwo) {
+    EXPECT_TRUE(is_power_of_two(1));
+    EXPECT_TRUE(is_power_of_two(1024));
+    EXPECT_FALSE(is_power_of_two(0));
+    EXPECT_FALSE(is_power_of_two(96));
+    EXPECT_EQ(next_power_of_two(96), 128u);
+    EXPECT_EQ(next_power_of_two(1), 1u);
+    EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(MathUtil, AlmostEqual) {
+    EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(almost_equal(1.0, 1.001));
+    EXPECT_TRUE(almost_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(MathUtil, DegreesRadians) {
+    EXPECT_DOUBLE_EQ(rad_to_deg(pi), 180.0);
+    EXPECT_DOUBLE_EQ(deg_to_rad(-90.0), -half_pi);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+// Production screening: self-test gating, conservative pass/fail, lot
+// Monte Carlo.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "core/screening.hpp"
+#include "dut/filters.hpp"
+
+namespace {
+
+using namespace bistna;
+using core::analyzer_settings;
+using core::demonstrator_board;
+using core::network_analyzer;
+using core::spec_mask;
+
+analyzer_settings fast_settings() {
+    analyzer_settings settings;
+    settings.evaluator.modulator = sd::modulator_params::ideal();
+    settings.evaluator.offset = eval::offset_mode::none;
+    settings.periods = 100;
+    return settings;
+}
+
+TEST(Screening, GoodDiePasses) {
+    demonstrator_board board(gen::generator_params::ideal(), dut::make_paper_dut(0.01, 7));
+    board.set_amplitude(millivolt(150.0));
+    network_analyzer analyzer(board, fast_settings());
+    const auto report = core::screen(analyzer, spec_mask::paper_lowpass());
+    EXPECT_TRUE(report.self_test_passed);
+    EXPECT_TRUE(report.passed);
+    EXPECT_EQ(report.limits.size(), 3u);
+    for (const auto& limit : report.limits) {
+        EXPECT_TRUE(limit.passed) << limit.limit.name;
+        EXPECT_TRUE(limit.measured_bounds_db.contains(limit.measured_db));
+    }
+}
+
+TEST(Screening, WrongCutoffDieFails) {
+    // A die whose filter came out at 1.5 kHz must fail the cutoff limit.
+    bistna::rng generator(1);
+    auto components = dut::design_sallen_key(1500.0, 1.0 / std::sqrt(2.0));
+    demonstrator_board board(
+        gen::generator_params::ideal(),
+        std::make_unique<dut::linear_dut>(dut::sallen_key_lowpass(components),
+                                          "off-spec 1.5 kHz filter"));
+    board.set_amplitude(millivolt(150.0));
+    network_analyzer analyzer(board, fast_settings());
+    const auto report = core::screen(analyzer, spec_mask::paper_lowpass());
+    EXPECT_TRUE(report.self_test_passed);
+    EXPECT_FALSE(report.passed);
+}
+
+TEST(Screening, BrokenStimulusGatesOutDutMeasurements) {
+    demonstrator_board board(gen::generator_params::ideal(), dut::make_paper_dut(0.0, 1));
+    board.set_amplitude(millivolt(50.0)); // 100 mV instead of the nominal 300 mV
+    network_analyzer analyzer(board, fast_settings());
+    const auto report = core::screen(analyzer, spec_mask::paper_lowpass());
+    EXPECT_FALSE(report.self_test_passed);
+    EXPECT_FALSE(report.passed);
+    EXPECT_TRUE(report.limits.empty()); // DUT data never trusted
+}
+
+TEST(Screening, LotYieldDistinguishesProcessQuality) {
+    const auto settings = fast_settings();
+    const auto mask = spec_mask::paper_lowpass();
+
+    auto lot_with_sigma = [&](double sigma) {
+        return core::screen_lot(
+            [sigma](std::uint64_t seed) {
+                core::demonstrator_board board(gen::generator_params::ideal(),
+                                               dut::make_paper_dut(sigma, seed));
+                board.set_amplitude(millivolt(150.0));
+                return board;
+            },
+            settings, mask, 12, 100);
+    };
+
+    const auto good_lot = lot_with_sigma(0.01);
+    const auto bad_lot = lot_with_sigma(0.08);
+    EXPECT_EQ(good_lot.dice, 12u);
+    EXPECT_GE(good_lot.yield(), 0.9);
+    EXPECT_LT(bad_lot.yield(), good_lot.yield());
+    // Distribution bookkeeping covers every mask limit.
+    ASSERT_EQ(good_lot.gain_distributions.size(), mask.limits.size());
+    EXPECT_GT(bad_lot.gain_distributions[1].stddev, good_lot.gain_distributions[1].stddev);
+}
+
+TEST(Screening, EmptyMaskRejected) {
+    demonstrator_board board(gen::generator_params::ideal(), dut::make_paper_dut(0.0, 1));
+    board.set_amplitude(millivolt(150.0));
+    network_analyzer analyzer(board, fast_settings());
+    EXPECT_THROW((void)core::screen(analyzer, spec_mask{}), precondition_error);
+}
+
+} // namespace

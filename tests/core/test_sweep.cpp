@@ -1,0 +1,42 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(Sweep, LogSpacedEndpointsAndMonotonic) {
+    const auto points = core::log_spaced(hertz{100.0}, hertz{100000.0}, 13);
+    ASSERT_EQ(points.size(), 13u);
+    EXPECT_NEAR(points.front().value, 100.0, 1e-9);
+    EXPECT_NEAR(points.back().value, 100000.0, 1e-6);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].value, points[i - 1].value);
+    }
+    // Constant ratio between consecutive points.
+    const double ratio = points[1].value / points[0].value;
+    for (std::size_t i = 2; i < points.size(); ++i) {
+        EXPECT_NEAR(points[i].value / points[i - 1].value, ratio, 1e-9);
+    }
+}
+
+TEST(Sweep, LinearSpacedStep) {
+    const auto points = core::linear_spaced(hertz{0.0}, hertz{100.0}, 11);
+    ASSERT_EQ(points.size(), 11u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_NEAR(points[i].value, 10.0 * static_cast<double>(i), 1e-12);
+    }
+}
+
+TEST(Sweep, Validation) {
+    EXPECT_THROW((void)core::log_spaced(hertz{0.0}, hertz{10.0}, 5), precondition_error);
+    EXPECT_THROW((void)core::log_spaced(hertz{10.0}, hertz{5.0}, 5), precondition_error);
+    EXPECT_THROW((void)core::log_spaced(hertz{1.0}, hertz{10.0}, 1), precondition_error);
+    EXPECT_THROW((void)core::linear_spaced(hertz{5.0}, hertz{5.0}, 3), precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+// CIC decimator: DC normalization, sinc^R response, bitstream decoding.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "dsp/cic.hpp"
+#include "dsp/goertzel.hpp"
+#include "sd/modulator.hpp"
+
+namespace {
+
+using namespace bistna;
+using dsp::cic_decimator;
+
+TEST(Cic, DcPassesAtUnityGain) {
+    cic_decimator cic(3, 16);
+    std::vector<double> input(16 * 20, 0.42);
+    const auto out = cic.process(input);
+    ASSERT_EQ(out.size(), 20u);
+    // After the pipeline fills (order * factor samples), DC is exact.
+    EXPECT_NEAR(out.back(), 0.42, 1e-12);
+}
+
+TEST(Cic, OutputRateIsInputOverFactor) {
+    cic_decimator cic(2, 8);
+    const auto out = cic.process(std::vector<double>(801, 1.0));
+    EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Cic, MagnitudeResponseIsSincPower) {
+    cic_decimator cic(3, 16);
+    EXPECT_NEAR(cic.magnitude(0.0), 1.0, 1e-12);
+    // Nulls at multiples of 1/factor.
+    EXPECT_NEAR(cic.magnitude(1.0 / 16.0), 0.0, 1e-12);
+    EXPECT_NEAR(cic.magnitude(2.0 / 16.0), 0.0, 1e-12);
+    // Closed form check at an arbitrary frequency.
+    const double f = 0.013;
+    const double expected =
+        std::pow(std::abs(std::sin(pi * f * 16.0) / (16.0 * std::sin(pi * f))), 3.0);
+    EXPECT_NEAR(cic.magnitude(f), expected, 1e-12);
+}
+
+TEST(Cic, AttenuatesToneMatchingTheory) {
+    const double f = 0.03; // cycles per input sample
+    cic_decimator cic(2, 8);
+    std::vector<double> input(8000);
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        input[n] = std::sin(two_pi * f * static_cast<double>(n));
+    }
+    const auto out = cic.process(input);
+    // Tone at output rate: frequency f*8 cycles/output-sample; measure it.
+    const std::vector<double> tail(out.end() - 800, out.end());
+    const double amplitude = dsp::estimate_tone(tail, f * 8.0, 1.0).amplitude;
+    EXPECT_NEAR(amplitude, cic.magnitude(f), 0.02);
+}
+
+TEST(Cic, DecodesSigmaDeltaBitstream) {
+    // The integrated-DSP use case: decimate the modulator bitstream and
+    // recover the slow input tone.
+    sd::sd_modulator mod(sd::modulator_params::ideal());
+    const double vref = mod.params().vref;
+    cic_decimator cic(3, 24);
+    std::vector<double> decoded;
+    const double f = 1.0 / 960.0; // very slow tone
+    for (std::size_t n = 0; n < 9600 * 4; ++n) {
+        const double x = 0.3 * std::sin(two_pi * f * static_cast<double>(n));
+        const int bit = mod.step(x, true);
+        if (cic.push(static_cast<double>(bit) * vref)) {
+            decoded.push_back(cic.output());
+        }
+    }
+    // Measure the decoded tone amplitude (output rate = input/24).
+    const std::vector<double> tail(decoded.end() - 800, decoded.end());
+    const double amplitude = dsp::estimate_tone(tail, f * 24.0, 1.0).amplitude;
+    EXPECT_NEAR(amplitude, 0.3 * cic.magnitude(f), 0.01);
+}
+
+TEST(Cic, ResetClearsPipeline) {
+    cic_decimator cic(2, 4);
+    cic.process(std::vector<double>(100, 1.0));
+    cic.reset();
+    const auto out = cic.process(std::vector<double>(4, 0.0));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Cic, Validation) {
+    EXPECT_THROW(cic_decimator(0, 8), precondition_error);
+    EXPECT_THROW(cic_decimator(9, 8), precondition_error);
+    EXPECT_THROW(cic_decimator(2, 1), precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace {
+
+using namespace bistna;
+
+std::vector<double> cosine(double amplitude, double f_norm, std::size_t n, double phase) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = amplitude * std::cos(two_pi * f_norm * static_cast<double>(i) + phase);
+    }
+    return x;
+}
+
+TEST(Goertzel, AmplitudeAndPhaseOfCoherentTone) {
+    const auto record = cosine(0.4, 5.0 / 96.0, 96 * 50, 0.9);
+    const auto est = dsp::estimate_tone(record, 5.0 / 96.0, 1.0);
+    EXPECT_NEAR(est.amplitude, 0.4, 1e-9);
+    EXPECT_NEAR(est.phase_rad, 0.9, 1e-9);
+}
+
+TEST(Goertzel, SineHasMinusHalfPiPhase) {
+    std::vector<double> record(96 * 50);
+    for (std::size_t i = 0; i < record.size(); ++i) {
+        record[i] = std::sin(two_pi * static_cast<double>(i) / 96.0);
+    }
+    const auto est = dsp::estimate_tone(record, 1.0 / 96.0, 1.0);
+    EXPECT_NEAR(est.phase_rad, -half_pi, 1e-9);
+}
+
+TEST(Goertzel, RejectsOtherCoherentTones) {
+    const auto record = cosine(1.0, 3.0 / 96.0, 96 * 40, 0.0);
+    const auto est = dsp::estimate_tone(record, 7.0 / 96.0, 1.0);
+    EXPECT_NEAR(est.amplitude, 0.0, 1e-9);
+}
+
+TEST(Goertzel, MultitoneSeparation) {
+    std::vector<double> record(96 * 100);
+    for (std::size_t i = 0; i < record.size(); ++i) {
+        const double t = static_cast<double>(i);
+        record[i] = 0.2 * std::sin(two_pi * t / 96.0) + 0.02 * std::sin(2.0 * two_pi * t / 96.0) +
+                    0.002 * std::sin(3.0 * two_pi * t / 96.0);
+    }
+    EXPECT_NEAR(dsp::estimate_tone(record, 1.0 / 96.0, 1.0).amplitude, 0.2, 1e-9);
+    EXPECT_NEAR(dsp::estimate_tone(record, 2.0 / 96.0, 1.0).amplitude, 0.02, 1e-9);
+    EXPECT_NEAR(dsp::estimate_tone(record, 3.0 / 96.0, 1.0).amplitude, 0.002, 1e-9);
+}
+
+TEST(Goertzel, MatchesDirectCorrelationOnNonBinFrequency) {
+    // Generalized Goertzel at an arbitrary (non-bin) frequency.
+    const double f = 0.0731;
+    const std::size_t n = 4096;
+    const auto record = cosine(0.7, f, n, 0.3);
+    const auto y = dsp::goertzel(record, f, 1.0);
+    std::complex<double> direct(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double angle = -two_pi * f * static_cast<double>(i);
+        direct += record[i] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    direct *= 2.0 / static_cast<double>(n);
+    EXPECT_NEAR(std::abs(y - direct), 0.0, 1e-9);
+}
+
+TEST(Goertzel, EmptyRecordThrows) {
+    EXPECT_THROW((void)dsp::goertzel({}, 0.1, 1.0), precondition_error);
+}
+
+} // namespace

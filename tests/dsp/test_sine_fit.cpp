@@ -1,0 +1,68 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/sine_fit.hpp"
+
+namespace {
+
+using namespace bistna;
+
+std::vector<double> make_wave(double amplitude, double f_hz, double fs, std::size_t n,
+                              double phase, double offset) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = offset + amplitude * std::cos(two_pi * f_hz * static_cast<double>(i) / fs + phase);
+    }
+    return x;
+}
+
+TEST(SineFit3, ExactRecoveryOnCleanData) {
+    const auto wave = make_wave(0.6, 1000.0, 96000.0, 960, 0.8, 0.05);
+    const auto fit = dsp::sine_fit_3param(wave, 1000.0, 96000.0);
+    EXPECT_NEAR(fit.amplitude, 0.6, 1e-12);
+    EXPECT_NEAR(fit.phase_rad, 0.8, 1e-12);
+    EXPECT_NEAR(fit.offset, 0.05, 1e-12);
+    EXPECT_NEAR(fit.rms_residual, 0.0, 1e-12);
+}
+
+TEST(SineFit3, RobustToNoise) {
+    rng generator(3);
+    auto wave = make_wave(0.5, 800.0, 48000.0, 4800, -1.2, 0.0);
+    for (auto& x : wave) {
+        x += generator.gaussian(0.0, 0.01);
+    }
+    const auto fit = dsp::sine_fit_3param(wave, 800.0, 48000.0);
+    EXPECT_NEAR(fit.amplitude, 0.5, 2e-3);
+    EXPECT_NEAR(fit.phase_rad, -1.2, 5e-3);
+    EXPECT_NEAR(fit.rms_residual, 0.01, 2e-3);
+}
+
+TEST(SineFit4, RefinesWrongFrequencyGuess) {
+    const double f_true = 1003.7;
+    const auto wave = make_wave(0.4, f_true, 96000.0, 9600, 0.2, 0.0);
+    const auto fit = dsp::sine_fit_4param(wave, 980.0, 96000.0);
+    EXPECT_NEAR(fit.frequency_hz, f_true, 0.01);
+    EXPECT_NEAR(fit.amplitude, 0.4, 1e-4);
+}
+
+TEST(SineFit4, ConvergesFromBothSides) {
+    const double f_true = 62500.0;
+    const double fs = 1e6;
+    const auto wave = make_wave(0.3, f_true, fs, 16000, 1.0, 0.0);
+    for (double guess : {60000.0, 65000.0}) {
+        const auto fit = dsp::sine_fit_4param(wave, guess, fs);
+        EXPECT_NEAR(fit.frequency_hz, f_true, 1.0) << "guess " << guess;
+    }
+}
+
+TEST(SineFit, PreconditionsEnforced) {
+    EXPECT_THROW((void)dsp::sine_fit_3param({1.0, 2.0}, 100.0, 1000.0), precondition_error);
+    const auto wave = make_wave(1.0, 100.0, 1000.0, 100, 0.0, 0.0);
+    EXPECT_THROW((void)dsp::sine_fit_3param(wave, -5.0, 1000.0), precondition_error);
+}
+
+} // namespace

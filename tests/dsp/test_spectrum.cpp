@@ -1,0 +1,108 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using namespace bistna;
+using dsp::window_kind;
+
+std::vector<double> tone(double amplitude, double f, double fs, std::size_t n,
+                         double phase = 0.0) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = amplitude * std::sin(two_pi * f * static_cast<double>(i) / fs + phase);
+    }
+    return x;
+}
+
+TEST(Spectrum, AmplitudeCalibratedForCoherentTone) {
+    const double fs = 96000.0;
+    const std::size_t n = 4096;
+    // Put the tone exactly on a bin for the rectangular window.
+    const double f = 24.0 * fs / static_cast<double>(n);
+    const auto record = tone(0.5, f, fs, n);
+    const auto spec = dsp::compute_spectrum(record, fs, window_kind::rectangular);
+    const auto peak = dsp::find_peak(spec, 1, spec.bins() - 1);
+    EXPECT_NEAR(peak.frequency_hz, f, spec.bin_hz / 2);
+    EXPECT_NEAR(peak.amplitude, 0.5, 5e-3);
+}
+
+TEST(Spectrum, WindowedToneAmplitudeRecovered) {
+    const double fs = 96000.0;
+    const std::size_t n = 8192;
+    const double f = 1234.5; // non-coherent on purpose
+    const auto record = tone(0.3, f, fs, n);
+    const auto spec = dsp::compute_spectrum(record, fs, window_kind::blackman_harris);
+    const auto measured = dsp::measure_tone(spec, f);
+    EXPECT_NEAR(measured.amplitude, 0.3, 0.01);
+}
+
+TEST(Spectrum, TwoToneSfdr) {
+    const double fs = 96000.0;
+    const std::size_t n = 16384;
+    auto record = tone(1.0, 6000.0, fs, n);
+    const auto spur = tone(0.001, 25000.0, fs, n, 0.8);
+    for (std::size_t i = 0; i < n; ++i) {
+        record[i] += spur[i];
+    }
+    const auto metrics = dsp::analyze_tone(record, fs, 6000.0);
+    EXPECT_NEAR(metrics.sfdr_db, 60.0, 1.5);
+}
+
+TEST(Spectrum, ThdOfConstructedDistortion) {
+    const double fs = 96000.0;
+    const std::size_t n = 16384;
+    auto record = tone(1.0, 3000.0, fs, n);
+    const auto h2 = tone(0.01, 6000.0, fs, n, 1.0);
+    const auto h3 = tone(0.003, 9000.0, fs, n, 2.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        record[i] += h2[i] + h3[i];
+    }
+    const auto metrics = dsp::analyze_tone(record, fs, 3000.0);
+    const double expected = 20.0 * std::log10(std::hypot(0.01, 0.003));
+    EXPECT_NEAR(metrics.thd_db, expected, 0.5);
+    ASSERT_GE(metrics.harmonic_amplitudes.size(), 2u);
+    EXPECT_NEAR(metrics.harmonic_amplitudes[0], 0.01, 1e-3);
+    EXPECT_NEAR(metrics.harmonic_amplitudes[1], 0.003, 5e-4);
+}
+
+TEST(Spectrum, SnrOfNoisyTone) {
+    const double fs = 96000.0;
+    const std::size_t n = 32768;
+    rng generator(17);
+    auto record = tone(1.0, 5000.0, fs, n);
+    const double noise_rms = 1e-3;
+    for (auto& x : record) {
+        x += generator.gaussian(0.0, noise_rms);
+    }
+    const auto metrics = dsp::analyze_tone(record, fs, 5000.0);
+    // SNR = 20 log10( (1/sqrt(2)) / 1e-3 ) ~ 57 dB.
+    EXPECT_NEAR(metrics.snr_db, 57.0, 2.0);
+    EXPECT_NEAR(metrics.enob_bits, (metrics.sinad_db - 1.76) / 6.02, 1e-9);
+}
+
+TEST(Spectrum, AliasedHarmonicsAreFoldedIntoBand) {
+    const double fs = 96000.0;
+    const std::size_t n = 8192;
+    // Fundamental at 30 kHz: H2 = 60 kHz aliases to 36 kHz.
+    auto record = tone(1.0, 30000.0, fs, n);
+    const auto h2 = tone(0.01, 36000.0, fs, n, 0.5); // pre-folded image
+    for (std::size_t i = 0; i < n; ++i) {
+        record[i] += h2[i];
+    }
+    const auto metrics = dsp::analyze_tone(record, fs, 30000.0, 2);
+    ASSERT_EQ(metrics.harmonic_amplitudes.size(), 1u);
+    EXPECT_NEAR(metrics.harmonic_amplitudes[0], 0.01, 2e-3);
+}
+
+TEST(Spectrum, TooShortRecordThrows) {
+    EXPECT_THROW((void)dsp::compute_spectrum({1.0, 2.0}, 1000.0), precondition_error);
+}
+
+} // namespace

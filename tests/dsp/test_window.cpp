@@ -1,0 +1,63 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/window.hpp"
+
+namespace {
+
+using namespace bistna::dsp;
+
+TEST(Window, RectangularIsAllOnes) {
+    const auto w = make_window(window_kind::rectangular, 64);
+    for (double x : w) {
+        EXPECT_DOUBLE_EQ(x, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(coherent_gain(w), 1.0);
+    EXPECT_DOUBLE_EQ(enbw_bins(w), 1.0);
+}
+
+TEST(Window, HannProperties) {
+    const auto w = make_window(window_kind::hann, 1024);
+    EXPECT_NEAR(coherent_gain(w), 0.5, 1e-3);
+    EXPECT_NEAR(enbw_bins(w), 1.5, 1e-2);
+    EXPECT_NEAR(w[0], 0.0, 1e-12); // periodic Hann starts at zero
+}
+
+TEST(Window, BlackmanHarrisProperties) {
+    const auto w = make_window(window_kind::blackman_harris, 1024);
+    EXPECT_NEAR(coherent_gain(w), 0.35875, 1e-3);
+    EXPECT_NEAR(enbw_bins(w), 2.0, 0.05);
+}
+
+TEST(Window, FlattopCoherentGain) {
+    const auto w = make_window(window_kind::flattop, 1024);
+    EXPECT_NEAR(coherent_gain(w), 0.2156, 1e-3);
+}
+
+TEST(Window, AllKindsNonNegativePeakNearOne) {
+    for (auto kind : {window_kind::rectangular, window_kind::hann, window_kind::hamming,
+                      window_kind::blackman_harris}) {
+        const auto w = make_window(kind, 257);
+        double peak = 0.0;
+        for (double x : w) {
+            peak = std::max(peak, x);
+            EXPECT_GE(x, -1e-6) << to_string(kind);
+        }
+        EXPECT_NEAR(peak, 1.0, 0.01) << to_string(kind);
+    }
+}
+
+TEST(Window, LeakageHalfwidthOrdering) {
+    EXPECT_LT(leakage_halfwidth_bins(window_kind::rectangular),
+              leakage_halfwidth_bins(window_kind::hann));
+    EXPECT_LT(leakage_halfwidth_bins(window_kind::hann),
+              leakage_halfwidth_bins(window_kind::blackman_harris));
+}
+
+TEST(Window, ZeroLengthThrows) {
+    EXPECT_THROW((void)make_window(window_kind::hann, 0), bistna::precondition_error);
+}
+
+} // namespace

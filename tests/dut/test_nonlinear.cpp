@@ -1,0 +1,85 @@
+// Polynomial nonlinearity: HD calibration formulas and the decorated DUT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "dsp/goertzel.hpp"
+#include "dut/filters.hpp"
+#include "dut/nonlinear.hpp"
+
+namespace {
+
+using namespace bistna;
+using dut::polynomial_nonlinearity;
+
+TEST(Nonlinear, TargetHdCalibrationProducesRequestedLevels) {
+    const double amplitude = 0.3;
+    const auto poly = polynomial_nonlinearity::for_target_hd(amplitude, -50.0, -60.0);
+
+    // Run a pure tone through and extract harmonics coherently.
+    const std::size_t n_per_period = 96;
+    const std::size_t periods = 64;
+    std::vector<double> record;
+    record.reserve(n_per_period * periods);
+    for (std::size_t n = 0; n < n_per_period * periods; ++n) {
+        const double x =
+            amplitude * std::sin(two_pi * static_cast<double>(n) / n_per_period);
+        record.push_back(poly.apply(x));
+    }
+    const double a1 = dsp::estimate_tone(record, 1.0 / 96.0, 1.0).amplitude;
+    const double a2 = dsp::estimate_tone(record, 2.0 / 96.0, 1.0).amplitude;
+    const double a3 = dsp::estimate_tone(record, 3.0 / 96.0, 1.0).amplitude;
+    EXPECT_NEAR(20.0 * std::log10(a2 / a1), -50.0, 0.2);
+    EXPECT_NEAR(20.0 * std::log10(a3 / a1), -60.0, 0.2);
+}
+
+TEST(Nonlinear, ZeroCoefficientsAreTransparent) {
+    const polynomial_nonlinearity unity(0.0, 0.0);
+    for (double x : {-0.5, 0.0, 0.123, 0.9}) {
+        EXPECT_DOUBLE_EQ(unity.apply(x), x);
+    }
+}
+
+TEST(Nonlinear, ClipLevelLimitsOutput) {
+    const polynomial_nonlinearity clipper(0.0, 0.0, 0.4);
+    EXPECT_DOUBLE_EQ(clipper.apply(3.0), 0.4);
+    EXPECT_DOUBLE_EQ(clipper.apply(-3.0), -0.4);
+}
+
+TEST(Nonlinear, DecoratedDutKeepsLinearResponse) {
+    auto core = dut::make_paper_dut(0.0, 1);
+    const auto reference = core->ideal_response(700.0);
+    dut::nonlinear_dut wrapped(std::move(core), polynomial_nonlinearity(1e-3, 1e-3),
+                               polynomial_nonlinearity(1e-3, 1e-3));
+    const auto response = wrapped.ideal_response(700.0);
+    EXPECT_NEAR(std::abs(response - reference), 0.0, 1e-12);
+    EXPECT_NE(wrapped.description().find("nonlinearity"), std::string::npos);
+}
+
+TEST(Nonlinear, PaperDistortionDutProducesTargetHd) {
+    auto device = dut::make_paper_dut_with_distortion(0.0, 7);
+    const double fs = 96.0 * 1600.0;
+    device->prepare(fs);
+
+    const double input_amplitude = 0.4; // 800 mVpp
+    const std::size_t settle = 96 * 64;
+    const std::size_t measure = 96 * 256;
+    std::vector<double> record;
+    record.reserve(measure);
+    for (std::size_t n = 0; n < settle + measure; ++n) {
+        const double u =
+            input_amplitude * std::sin(two_pi * 1600.0 * static_cast<double>(n) / fs);
+        const double y = device->process(u);
+        if (n >= settle) {
+            record.push_back(y);
+        }
+    }
+    const double a1 = dsp::estimate_tone(record, 1600.0, fs).amplitude;
+    const double a2 = dsp::estimate_tone(record, 3200.0, fs).amplitude;
+    const double a3 = dsp::estimate_tone(record, 4800.0, fs).amplitude;
+    EXPECT_NEAR(20.0 * std::log10(a2 / a1), -56.0, 1.0);
+    EXPECT_NEAR(20.0 * std::log10(a3 / a1), -62.0, 1.5);
+}
+
+} // namespace

@@ -1,0 +1,63 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "dut/transfer_function.hpp"
+
+namespace {
+
+using namespace bistna;
+using dut::transfer_function;
+
+TEST(TransferFunction, FirstOrderMagnitudeAndPhase) {
+    // H(s) = 1/(1 + s/w0), w0 = 2 pi * 1 kHz.
+    const double w0 = two_pi * 1000.0;
+    transfer_function tf({1.0}, {1.0, 1.0 / w0});
+    EXPECT_NEAR(tf.magnitude_db(1000.0), -3.0103, 1e-3);
+    EXPECT_NEAR(tf.phase_rad(1000.0), -pi / 4.0, 1e-9);
+    EXPECT_NEAR(tf.magnitude_db(10.0), 0.0, 1e-3);
+}
+
+TEST(TransferFunction, DcGain) {
+    transfer_function tf({3.0}, {1.5, 0.01});
+    EXPECT_DOUBLE_EQ(tf.dc_gain(), 2.0);
+}
+
+TEST(TransferFunction, CutoffSearchFindsMinus3Db) {
+    const double w0 = two_pi * 1234.0;
+    transfer_function tf({1.0}, {1.0, std::sqrt(2.0) / w0, 1.0 / (w0 * w0)});
+    EXPECT_NEAR(tf.cutoff_frequency(10.0, 1e6), 1234.0, 1.0);
+}
+
+TEST(TransferFunction, CutoffThrowsWhenNotBracketed) {
+    transfer_function tf({1.0}, {1.0, 1.0 / (two_pi * 1000.0)});
+    EXPECT_THROW((void)tf.cutoff_frequency(1.0, 10.0), configuration_error);
+}
+
+TEST(TransferFunction, CascadeMultipliesResponses) {
+    const double w0 = two_pi * 1000.0;
+    transfer_function stage({1.0}, {1.0, 1.0 / w0});
+    const auto cascade = stage * stage;
+    const auto direct = cascade.response(500.0);
+    const auto expected = stage.response(500.0) * stage.response(500.0);
+    EXPECT_NEAR(std::abs(direct - expected), 0.0, 1e-12);
+    EXPECT_EQ(cascade.order(), 2u);
+}
+
+TEST(TransferFunction, ImproperRejected) {
+    EXPECT_THROW(transfer_function({1.0, 1.0}, {1.0}), precondition_error);
+}
+
+TEST(TransferFunction, PolynomialHelpers) {
+    const auto product = dut::multiply({1.0, 1.0}, {1.0, -1.0});
+    ASSERT_EQ(product.size(), 3u);
+    EXPECT_DOUBLE_EQ(product[0], 1.0);
+    EXPECT_DOUBLE_EQ(product[1], 0.0);
+    EXPECT_DOUBLE_EQ(product[2], -1.0);
+    const auto value = dut::eval_poly({1.0, 2.0, 3.0}, {2.0, 0.0});
+    EXPECT_DOUBLE_EQ(value.real(), 17.0);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+// Signature acquisition: offset handling modes, checkpoints, validation.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "eval/estimator.hpp"
+#include "eval/signature.hpp"
+
+namespace {
+
+using namespace bistna;
+using eval::acquisition_settings;
+using eval::offset_mode;
+using eval::signature_extractor;
+
+constexpr std::size_t kN = 96;
+
+eval::sample_source sine_source(double amplitude, std::size_t k, double phase) {
+    return [=](std::size_t n) {
+        return amplitude *
+               std::sin(two_pi * static_cast<double>(k) * static_cast<double>(n) / kN + phase);
+    };
+}
+
+TEST(Signature, OffsetCorruptsUncompensatedDcMeasurement) {
+    auto params = sd::modulator_params::ideal();
+    params.input_offset = 10e-3;
+    signature_extractor extractor(params, 3);
+    acquisition_settings settings;
+    settings.harmonic_k = 0;
+    settings.periods = 200;
+    settings.offset = offset_mode::none;
+    const auto sig = extractor.acquire([](std::size_t) { return 0.0; }, settings);
+    const auto dc = eval::estimate_dc(sig);
+    // Reads the offset instead of the true zero input.
+    EXPECT_NEAR(dc.volts, 10e-3, 2e-3);
+}
+
+TEST(Signature, CalibrationRemovesOffset) {
+    auto params = sd::modulator_params::ideal();
+    params.input_offset = 10e-3;
+    signature_extractor extractor(params, 3);
+    extractor.calibrate_offset(4096, kN);
+    acquisition_settings settings;
+    settings.harmonic_k = 0;
+    settings.periods = 200;
+    settings.offset = offset_mode::calibrated;
+    const auto sig = extractor.acquire([](std::size_t) { return 0.05; }, settings);
+    const auto dc = eval::estimate_dc(sig);
+    EXPECT_TRUE(dc.bounds_volts.contains(0.05))
+        << "got " << dc.volts << " in [" << dc.bounds_volts.lo() << ", "
+        << dc.bounds_volts.hi() << "]";
+}
+
+TEST(Signature, ChoppingRemovesOffsetWithoutCalibration) {
+    auto params = sd::modulator_params::ideal();
+    params.input_offset = 10e-3;
+    signature_extractor extractor(params, 3);
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.periods = 200;
+    settings.offset = offset_mode::chopped;
+    const auto sig = extractor.acquire(sine_source(0.2, 1, 0.9), settings);
+    const auto amp = eval::estimate_amplitude(sig);
+    EXPECT_TRUE(amp.bounds_volts.contains(0.2))
+        << "got " << amp.volts << " +/- " << amp.bounds_volts.radius();
+    EXPECT_DOUBLE_EQ(sig.eps_bound, 8.0); // documented chop bound
+}
+
+TEST(Signature, ChopRequiresEvenPeriods) {
+    signature_extractor extractor(sd::modulator_params::ideal(), 3);
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.periods = 201; // odd
+    settings.offset = offset_mode::chopped;
+    EXPECT_THROW((void)extractor.acquire(sine_source(0.1, 1, 0.0), settings),
+                 precondition_error);
+}
+
+TEST(Signature, CalibratedModeRequiresCalibration) {
+    signature_extractor extractor(sd::modulator_params::ideal(), 3);
+    acquisition_settings settings;
+    settings.offset = offset_mode::calibrated;
+    EXPECT_THROW((void)extractor.acquire(sine_source(0.1, 1, 0.0), settings),
+                 precondition_error);
+}
+
+TEST(Signature, RawCountsAreIntegerBitSums) {
+    signature_extractor extractor(sd::modulator_params::ideal(), 3);
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.periods = 10;
+    settings.offset = offset_mode::none;
+    const auto sig = extractor.acquire(sine_source(0.3, 1, 0.0), settings);
+    EXPECT_LE(std::abs(sig.raw_i1), static_cast<long long>(sig.total_samples));
+    EXPECT_LE(std::abs(sig.raw_i2), static_cast<long long>(sig.total_samples));
+    EXPECT_EQ(sig.total_samples, 10u * kN);
+}
+
+TEST(Signature, CheckpointsMatchIndividualRuns) {
+    // A checkpointed acquisition must agree with the same-length direct
+    // acquisition when the noise and initial state are disabled.
+    auto params = sd::modulator_params::ideal();
+    signature_extractor ex1(params, 5);
+    signature_extractor ex2(params, 5);
+
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.offset = offset_mode::none;
+    settings.randomize_initial_state = false;
+
+    const auto source = sine_source(0.25, 1, 1.7);
+    const auto checkpointed = ex1.acquire_with_checkpoints(source, settings, {20, 50, 100});
+
+    settings.periods = 100;
+    const auto direct = ex2.acquire(source, settings);
+    ASSERT_EQ(checkpointed.size(), 3u);
+    EXPECT_EQ(checkpointed.back().raw_i1, direct.raw_i1);
+    EXPECT_EQ(checkpointed.back().raw_i2, direct.raw_i2);
+    EXPECT_EQ(checkpointed[0].periods, 20u);
+    EXPECT_EQ(checkpointed[1].total_samples, 50u * kN);
+}
+
+TEST(Signature, CheckpointsRejectChoppedMode) {
+    signature_extractor extractor(sd::modulator_params::ideal(), 5);
+    acquisition_settings settings;
+    settings.offset = offset_mode::chopped;
+    EXPECT_THROW((void)extractor.acquire_with_checkpoints(sine_source(0.1, 1, 0.0), settings,
+                                                          {10, 20}),
+                 precondition_error);
+}
+
+TEST(Signature, EveryCheckpointSatisfiesEq4) {
+    signature_extractor extractor(sd::modulator_params::ideal(), 21);
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.offset = offset_mode::none;
+    const double amplitude = 0.15;
+    const auto sigs = extractor.acquire_with_checkpoints(
+        sine_source(amplitude, 1, 0.6), settings, {20, 40, 80, 160, 320, 640});
+    for (const auto& sig : sigs) {
+        const auto amp = eval::estimate_amplitude(sig);
+        EXPECT_TRUE(amp.bounds_volts.contains(amplitude)) << "M = " << sig.periods;
+    }
+}
+
+} // namespace

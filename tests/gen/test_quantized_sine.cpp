@@ -1,0 +1,81 @@
+// The control sequencer must reproduce eq. (2): the 16-step pattern is an
+// exact sampled sine.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "gen/cap_array.hpp"
+#include "gen/quantized_sine.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using namespace bistna;
+using gen::control_sequencer;
+
+TEST(QuantizedSine, StepValuesAreExactSineSamples) {
+    for (std::size_t n = 0; n < 32; ++n) {
+        const double expected = std::sin(static_cast<double>(n) * pi / 8.0);
+        EXPECT_NEAR(control_sequencer::ideal_step_value(n), expected, 1e-15) << "n=" << n;
+    }
+}
+
+TEST(QuantizedSine, CapIndicesFollowEq2Levels) {
+    // CI_k = sin(k pi / 8), selected one at a time (eq. (1)).
+    const auto& table = control_sequencer::index_table();
+    for (std::size_t n = 0; n < gen::steps_per_period; ++n) {
+        const double level = control_sequencer::ideal_level(table[n]);
+        EXPECT_NEAR(level, std::abs(std::sin(static_cast<double>(n) * pi / 8.0)), 1e-15);
+    }
+}
+
+TEST(QuantizedSine, SignFlipsAtHalfPeriod) {
+    for (std::size_t n = 0; n < gen::steps_per_period; ++n) {
+        EXPECT_EQ(control_sequencer::at(n).negative, n >= 8) << "n=" << n;
+    }
+}
+
+TEST(QuantizedSine, PatternPeriodicInSixteen) {
+    for (std::size_t n = 0; n < 64; ++n) {
+        const auto a = control_sequencer::at(n);
+        const auto b = control_sequencer::at(n + gen::steps_per_period);
+        EXPECT_EQ(a.cap_index, b.cap_index);
+        EXPECT_EQ(a.negative, b.negative);
+    }
+}
+
+TEST(QuantizedSine, LevelIndexOutOfRangeThrows) {
+    EXPECT_THROW((void)control_sequencer::ideal_level(5), precondition_error);
+}
+
+TEST(CapArray, IdealArrayMatchesIdealLevels) {
+    gen::cap_array array;
+    for (std::size_t k = 0; k < gen::level_count; ++k) {
+        EXPECT_DOUBLE_EQ(array.level(k), control_sequencer::ideal_level(k));
+    }
+}
+
+TEST(CapArray, MismatchedArrayStaysClose) {
+    auto params = sim::process_params::cmos035();
+    rng seed(5);
+    sim::process_sampler sampler(params, seed);
+    gen::cap_array array(sampler);
+    for (std::size_t k = 1; k < gen::level_count; ++k) {
+        const double ideal = control_sequencer::ideal_level(k);
+        EXPECT_NEAR(array.level(k), ideal, 6.0 * params.cap_mismatch_sigma * ideal);
+        EXPECT_NE(array.level(k), ideal); // mismatch actually drawn
+    }
+    EXPECT_DOUBLE_EQ(array.level(0), 0.0);
+}
+
+TEST(CapArray, SignedValueFollowsControl) {
+    gen::cap_array array;
+    const auto pos = gen::generator_control{3, false};
+    const auto neg = gen::generator_control{3, true};
+    EXPECT_GT(array.value(pos), 0.0);
+    EXPECT_DOUBLE_EQ(array.value(pos), -array.value(neg));
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/expm.hpp"
+
+namespace {
+
+using namespace bistna;
+using linalg::matrix;
+
+TEST(Expm, DiagonalMatrixExponentiatesEntries) {
+    auto a = matrix::zero(2);
+    a(0, 0) = 1.0;
+    a(1, 1) = -2.0;
+    const auto e = linalg::expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationGeneratorGivesSineCosine) {
+    // A = [[0, -w], [w, 0]] -> expm(A t) is a rotation by w t.
+    const double w = 3.0;
+    auto a = matrix::zero(2);
+    a(0, 1) = -w;
+    a(1, 0) = w;
+    const auto e = linalg::expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(w), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(w), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(w), 1e-12);
+}
+
+TEST(Expm, LargeNormTriggersScalingAndStaysAccurate) {
+    auto a = matrix::zero(2);
+    a(0, 0) = -50.0;
+    a(1, 1) = -80.0;
+    const auto e = linalg::expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(-50.0), 1e-28);
+    EXPECT_NEAR(e(1, 1), std::exp(-80.0), 1e-40);
+}
+
+TEST(Expm, SatisfiesSemigroupProperty) {
+    const auto a = matrix::from_rows({{0.1, 0.7}, {-0.4, -0.2}});
+    const auto full = linalg::expm(a);
+    const auto half = linalg::expm(a * 0.5);
+    const auto composed = half * half;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            EXPECT_NEAR(composed(r, c), full(r, c), 1e-12);
+        }
+    }
+}
+
+TEST(DiscretizeZoh, FirstOrderMatchesClosedForm) {
+    // x' = -a x + a u: Ad = e^{-a ts}, Bd = 1 - e^{-a ts}.
+    const double alpha = 2000.0;
+    auto a = matrix::zero(1);
+    a(0, 0) = -alpha;
+    matrix b(1, 1);
+    b(0, 0) = alpha;
+    const double ts = 1e-4;
+    const auto zoh = linalg::discretize_zoh(a, b, ts);
+    EXPECT_NEAR(zoh.ad(0, 0), std::exp(-alpha * ts), 1e-12);
+    EXPECT_NEAR(zoh.bd(0, 0), 1.0 - std::exp(-alpha * ts), 1e-12);
+}
+
+TEST(DiscretizeZoh, RejectsBadArguments) {
+    const auto a = matrix::identity(2);
+    matrix b(2, 1);
+    EXPECT_THROW((void)linalg::discretize_zoh(a, b, 0.0), bistna::precondition_error);
+    matrix b_bad(3, 1);
+    EXPECT_THROW((void)linalg::discretize_zoh(a, b_bad, 1e-3), bistna::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace bistna;
+using linalg::matrix;
+
+TEST(Matrix, ConstructionAndIdentity) {
+    const auto eye = matrix::identity(3);
+    EXPECT_EQ(eye.rows(), 3u);
+    EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+    EXPECT_THROW(matrix(0, 3), precondition_error);
+}
+
+TEST(Matrix, FromRowsValidatesShape) {
+    const auto m = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(matrix::from_rows({{1.0, 2.0}, {3.0}}), precondition_error);
+}
+
+TEST(Matrix, Multiplication) {
+    const auto a = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    const auto b = matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+    const auto c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ApplyVector) {
+    const auto a = matrix::from_rows({{1.0, -1.0}, {2.0, 0.5}});
+    const auto y = a.apply({2.0, 4.0});
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+    EXPECT_THROW((void)a.apply({1.0}), precondition_error);
+}
+
+TEST(Matrix, TransposeAndNorm) {
+    const auto a = matrix::from_rows({{1.0, -4.0}, {2.0, 3.0}});
+    const auto t = a.transposed();
+    EXPECT_DOUBLE_EQ(t(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(a.norm_inf(), 5.0);
+}
+
+TEST(Matrix, BlockOperations) {
+    auto m = matrix::zero(4);
+    m.set_block(1, 1, matrix::identity(2));
+    EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+    const auto b = m.block(1, 1, 2, 2);
+    EXPECT_DOUBLE_EQ(b(0, 0), 1.0);
+    EXPECT_THROW((void)m.block(3, 3, 2, 2), precondition_error);
+}
+
+TEST(Solve, RecoversKnownSolution) {
+    const auto a = matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+    const auto x = linalg::solve(a, std::vector<double>{5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, PivotingHandlesZeroDiagonal) {
+    const auto a = matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+    const auto x = linalg::solve(a, std::vector<double>{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+    const auto a = matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+    EXPECT_THROW((void)linalg::solve(a, std::vector<double>{1.0, 2.0}), configuration_error);
+}
+
+TEST(Solve, MatrixRhsSolvesColumnwise) {
+    const auto a = matrix::from_rows({{4.0, 0.0}, {0.0, 2.0}});
+    const auto x = linalg::solve(a, matrix::identity(2));
+    EXPECT_NEAR(x(0, 0), 0.25, 1e-12);
+    EXPECT_NEAR(x(1, 1), 0.5, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+// The biquad is the generator's smoothing filter.  These tests pin the
+// recovered Fig. 2 topology to Table I: resonance at f_gen/16, pole radius
+// ~0.96 (Q ~ 5), passband gain 2, and the design helper's round trip.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "sc/analysis.hpp"
+#include "sc/biquad.hpp"
+
+namespace {
+
+using namespace bistna;
+using sc::biquad_caps;
+using sc::sc_biquad;
+
+TEST(BiquadAnalysis, TableOneResonatesAtSixteenthOfClock) {
+    const auto info = sc::analyze_biquad(biquad_caps::table1());
+    // Pole angle within 1 % of 2*pi/16.
+    EXPECT_NEAR(info.pole_angle, two_pi / 16.0, 0.01 * two_pi / 16.0);
+    EXPECT_NEAR(info.pole_radius, 0.9625, 0.002);
+    EXPECT_NEAR(info.q_factor, 5.0, 0.3);
+}
+
+TEST(BiquadAnalysis, TableOnePassbandGainIsTwo) {
+    const auto info = sc::analyze_biquad(biquad_caps::table1());
+    // Measured in Fig. 8a: output amplitude = 2 * (V_A+ - V_A-).
+    EXPECT_NEAR(info.gain_at_16th, 2.0, 0.05);
+}
+
+TEST(BiquadAnalysis, HarmonicsAreAttenuatedRelativeToFundamental) {
+    const auto caps = biquad_caps::table1();
+    const double h1 = std::abs(sc::biquad_response(caps, 1.0 / 16.0));
+    const double h2 = std::abs(sc::biquad_response(caps, 2.0 / 16.0));
+    const double h3 = std::abs(sc::biquad_response(caps, 3.0 / 16.0));
+    // The smoothing filter suppresses harmonics by > 20 dB relative to the
+    // fundamental (this is what cleans the 16-step staircase).
+    EXPECT_GT(20.0 * std::log10(h1 / h2), 20.0);
+    EXPECT_GT(20.0 * std::log10(h1 / h3), 28.0);
+}
+
+TEST(BiquadAnalysis, DesignRoundTripRecoversTableOne) {
+    sc::biquad_design_spec spec;
+    const auto info = sc::analyze_biquad(biquad_caps::table1());
+    spec.normalized_f0 = info.pole_angle / two_pi;
+    spec.pole_radius = info.pole_radius;
+    spec.passband_gain = info.gain_at_16th;
+    spec.total_cap_scale = biquad_caps::table1().b + biquad_caps::table1().f;
+    const auto designed = sc::design_biquad(spec);
+    EXPECT_NEAR(designed.a, 5.194, 0.05);
+    EXPECT_NEAR(designed.b, 12.749, 0.05);
+    EXPECT_NEAR(designed.d, 2.574, 0.05);
+    EXPECT_NEAR(designed.f, 1.014, 0.05);
+}
+
+TEST(BiquadAnalysis, DesignHitsRequestedSpecs) {
+    sc::biquad_design_spec spec;
+    spec.normalized_f0 = 1.0 / 16.0;
+    spec.pole_radius = 0.96;
+    spec.passband_gain = 2.0;
+    const auto caps = sc::design_biquad(spec);
+    const auto info = sc::analyze_biquad(caps);
+    EXPECT_NEAR(info.pole_angle, two_pi / 16.0, 1e-9);
+    EXPECT_NEAR(info.pole_radius, 0.96, 1e-9);
+    const double gain = std::abs(sc::biquad_response(caps, 1.0 / 16.0));
+    EXPECT_NEAR(gain, 2.0, 1e-9);
+}
+
+TEST(BiquadSimulation, TimeDomainMatchesTransferFunctionForSine) {
+    // Drive the *ideal* simulated biquad with a sampled sine through a
+    // constant input cap and compare steady-state amplitude with |H|.
+    const auto caps = biquad_caps::table1();
+    sc_biquad biquad(caps, sc::opamp_params::ideal(), sc::opamp_params::ideal());
+    const double f = 1.0 / 16.0;
+    const std::size_t settle = 2048;
+    const std::size_t measure = 512;
+    double peak = 0.0;
+    for (std::size_t n = 0; n < settle + measure; ++n) {
+        const double u = std::sin(two_pi * f * static_cast<double>(n));
+        const double y = biquad.step(u, 1.0);
+        if (n >= settle) {
+            peak = std::max(peak, std::abs(y));
+        }
+    }
+    const double expected = std::abs(sc::biquad_response(caps, f));
+    EXPECT_NEAR(peak, expected, 0.02 * expected);
+}
+
+TEST(BiquadSimulation, ImpulseDecaysWithPoleRadius) {
+    const auto caps = biquad_caps::table1();
+    sc_biquad biquad(caps, sc::opamp_params::ideal(), sc::opamp_params::ideal());
+    biquad.step(1.0, 1.0); // impulse
+    double first_peak = 0.0;
+    double late_peak = 0.0;
+    for (std::size_t n = 0; n < 512; ++n) {
+        const double y = std::abs(biquad.step(0.0, 0.0));
+        if (n < 16) {
+            first_peak = std::max(first_peak, y);
+        }
+        if (n >= 256) {
+            late_peak = std::max(late_peak, y);
+        }
+    }
+    EXPECT_GT(first_peak, 0.0);
+    // 240+ samples at r = 0.9625: decay by r^240 ~ 1e-4.
+    EXPECT_LT(late_peak, 1e-3 * first_peak);
+}
+
+TEST(BiquadSimulation, ClipEventsReportedWhenDrivenIntoSwing) {
+    auto opamp = sc::opamp_params::ideal();
+    opamp.output_swing = 0.1;
+    sc_biquad biquad(biquad_caps::table1(), opamp, opamp);
+    for (std::size_t n = 0; n < 256; ++n) {
+        biquad.step(std::sin(two_pi * static_cast<double>(n) / 16.0), 1.0);
+    }
+    EXPECT_GT(biquad.clip_events(), 0u);
+}
+
+TEST(BiquadSimulation, RejectsNonPositiveCaps) {
+    biquad_caps caps = biquad_caps::table1();
+    caps.b = 0.0;
+    EXPECT_THROW(sc_biquad(caps, sc::opamp_params::ideal(), sc::opamp_params::ideal()),
+                 precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+// SC integrator charge-transfer behaviour, with and without the
+// behavioral op-amp non-idealities.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sc/integrator.hpp"
+
+namespace {
+
+using namespace bistna;
+using sc::branch;
+using sc::sc_integrator;
+
+TEST(ScIntegrator, IdealLosslessAccumulation) {
+    sc_integrator integ(2.0, 0.0, sc::opamp_params::ideal());
+    // v_new = v_old - (Ci/Cf) * u  (inverting).
+    integ.transfer(branch{1.0, 0.5});
+    EXPECT_NEAR(integ.output(), -0.25, 1e-12);
+    integ.transfer(branch{1.0, 0.5});
+    EXPECT_NEAR(integ.output(), -0.5, 1e-12);
+}
+
+TEST(ScIntegrator, DampingCapMakesItLossy) {
+    sc_integrator integ(2.0, 1.0, sc::opamp_params::ideal());
+    // v_new = (Cf*v_old - q) / (Cf + Cd); with q = 0 state decays by 2/3.
+    integ.reset(0.9);
+    integ.transfer(branch{1.0, 0.0});
+    EXPECT_NEAR(integ.output(), 0.6, 1e-12);
+}
+
+TEST(ScIntegrator, MultipleBranchesSumCharge) {
+    sc_integrator integ(1.0, 0.0, sc::opamp_params::ideal());
+    const std::array<branch, 3> branches = {branch{0.5, 0.2}, branch{-0.25, 0.4},
+                                            branch{1.0, -0.1}};
+    integ.transfer(branches);
+    // q = 0.5*0.2 - 0.25*0.4 - 1.0*0.1 = 0.1 - 0.1 - 0.1 = -0.1 -> v = +0.1
+    EXPECT_NEAR(integ.output(), 0.1, 1e-12);
+}
+
+TEST(ScIntegrator, FiniteGainLeavesResidualError) {
+    auto opamp = sc::opamp_params::ideal();
+    opamp.dc_gain_db = 40.0; // gain 100 -> visible error
+    sc_integrator integ(1.0, 0.0, opamp);
+    integ.transfer(branch{1.0, -1.0});
+    // Ideal would be +1.0; finite gain leaves ~ (1 + loading)/A short.
+    EXPECT_LT(integ.output(), 1.0);
+    EXPECT_GT(integ.output(), 0.95);
+}
+
+TEST(ScIntegrator, OffsetAccumulatesEachTransfer) {
+    auto opamp = sc::opamp_params::ideal();
+    opamp.offset_volts = 1e-3;
+    sc_integrator integ(1.0, 0.5, opamp); // damped so offset settles
+    double v = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        v = integ.transfer(branch{1.0, 0.0});
+    }
+    // Damped integrator converges; offset must move the settled value.
+    EXPECT_GT(std::abs(v), 1e-4);
+}
+
+TEST(ScIntegrator, ClipCountsAndSaturates) {
+    auto opamp = sc::opamp_params::ideal();
+    opamp.output_swing = 0.3;
+    sc_integrator integ(1.0, 0.0, opamp);
+    for (int i = 0; i < 10; ++i) {
+        integ.transfer(branch{1.0, -0.2});
+    }
+    EXPECT_NEAR(integ.output(), 0.3, 1e-12);
+    EXPECT_GT(integ.clip_events(), 0u);
+}
+
+TEST(ScIntegrator, NoiseIsReproducibleWithSeed) {
+    auto opamp = sc::opamp_params::ideal();
+    opamp.noise_rms = 1e-4;
+    sc_integrator a(1.0, 0.0, opamp, rng(1234));
+    sc_integrator b(1.0, 0.0, opamp, rng(1234));
+    for (int i = 0; i < 100; ++i) {
+        a.transfer(branch{1.0, 0.1});
+        b.transfer(branch{1.0, 0.1});
+    }
+    EXPECT_DOUBLE_EQ(a.output(), b.output());
+}
+
+TEST(ScIntegrator, RejectsNonPositiveFeedbackCap) {
+    EXPECT_THROW(sc_integrator(0.0, 0.0, sc::opamp_params::ideal()), precondition_error);
+    EXPECT_THROW(sc_integrator(1.0, -0.1, sc::opamp_params::ideal()), precondition_error);
+}
+
+} // namespace

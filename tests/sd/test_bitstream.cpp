@@ -1,0 +1,60 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "sd/bitstream.hpp"
+#include "sd/modulator.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(Bitstream, AccumulateAndRunningSum) {
+    const std::vector<int> bits = {1, 1, -1, 1, -1, -1, 1};
+    EXPECT_EQ(sd::accumulate_bits(bits), 1);
+    const auto sums = sd::running_sum(bits);
+    ASSERT_EQ(sums.size(), bits.size());
+    EXPECT_EQ(sums.front(), 1);
+    EXPECT_EQ(sums.back(), 1);
+    EXPECT_EQ(sums[2], 1);
+}
+
+TEST(Bitstream, MeanVolts) {
+    const std::vector<int> bits(1000, 1);
+    EXPECT_DOUBLE_EQ(sd::bitstream_mean_volts(bits, 0.7), 0.7);
+    EXPECT_THROW((void)sd::bitstream_mean_volts({}, 0.7), precondition_error);
+}
+
+TEST(Bitstream, BoxcarDecodeRecoversSlowSine) {
+    // Modulate a slow sine, then boxcar-decode; the reconstruction should
+    // track the input within the quantization floor of the window.
+    sd::sd_modulator mod(sd::modulator_params::ideal());
+    const double vref = mod.params().vref;
+    const std::size_t n = 96 * 200;
+    std::vector<int> bits;
+    std::vector<double> input;
+    bits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = 0.4 * std::sin(two_pi * static_cast<double>(i) / (96.0 * 4.0));
+        input.push_back(x);
+        bits.push_back(mod.step(x, true));
+    }
+    const std::size_t window = 48;
+    const auto decoded = sd::boxcar_decode(bits, window, vref);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        // Compare against the input at the window center.
+        const double reference = input[i + window / 2];
+        worst = std::max(worst, std::abs(decoded[i] - reference));
+    }
+    EXPECT_LT(worst, 0.1); // coarse reconstruction, bounded error
+}
+
+TEST(Bitstream, BoxcarValidation) {
+    EXPECT_THROW((void)sd::boxcar_decode({1, -1}, 0, 0.7), precondition_error);
+    EXPECT_THROW((void)sd::boxcar_decode({1, -1}, 5, 0.7), precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+// The clocking invariants of Fig. 1: f_gen = f_eva/6, f_wave = f_eva/96,
+// N = 96 independent of the master clock ("inherent synchronization").
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/clock_divider.hpp"
+#include "sim/timebase.hpp"
+
+namespace {
+
+using namespace bistna;
+using sim::timebase;
+
+TEST(Timebase, PaperFrequencyChain) {
+    // Fig. 8: f_wave = 62.5 kHz needs f_gen = 1 MHz, f_eva = 6 MHz.
+    const timebase tb(megahertz(6.0));
+    EXPECT_DOUBLE_EQ(tb.generator_clock().value, 1e6);
+    EXPECT_DOUBLE_EQ(tb.wave_frequency().value, 62.5e3);
+    EXPECT_DOUBLE_EQ(tb.sample_period().value, 1.0 / 6e6);
+}
+
+TEST(Timebase, OversamplingRatioFixedByConstruction) {
+    for (double f : {100.0, 1000.0, 20000.0, 62500.0}) {
+        const auto tb = timebase::for_wave_frequency(hertz{f});
+        EXPECT_DOUBLE_EQ(tb.master() / tb.wave_frequency(), 96.0) << f;
+        EXPECT_EQ(timebase::samples_per_period(), 96u);
+    }
+}
+
+TEST(Timebase, ForWaveFrequencyInverts) {
+    const auto tb = timebase::for_wave_frequency(kilohertz(1.0));
+    EXPECT_DOUBLE_EQ(tb.master().value, 96e3);
+    EXPECT_DOUBLE_EQ(tb.wave_period().value, 1e-3);
+}
+
+TEST(Timebase, SamplesForPeriods) {
+    const auto tb = timebase::for_wave_frequency(kilohertz(1.0));
+    EXPECT_EQ(tb.samples_for_periods(200), 19200u);
+}
+
+TEST(Timebase, RejectsNonPositive) {
+    EXPECT_THROW(timebase(hertz{0.0}), precondition_error);
+    EXPECT_THROW(timebase::for_wave_frequency(hertz{-1.0}), precondition_error);
+}
+
+TEST(ClockDivider, DividesBySix) {
+    sim::clock_divider divider(6);
+    int fires = 0;
+    for (int i = 0; i < 60; ++i) {
+        fires += divider.tick();
+    }
+    EXPECT_EQ(fires, 10);
+}
+
+TEST(ClockDivider, FiresOnFirstTickAfterReset) {
+    sim::clock_divider divider(4);
+    EXPECT_TRUE(divider.tick());
+    EXPECT_FALSE(divider.tick());
+    divider.reset();
+    EXPECT_TRUE(divider.tick());
+}
+
+TEST(ClockDivider, RejectsZeroRatio) {
+    EXPECT_THROW(sim::clock_divider(0), precondition_error);
+}
+
+} // namespace
