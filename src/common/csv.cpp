@@ -1,5 +1,6 @@
 #include "common/csv.hpp"
 
+#include <charconv>
 #include <limits>
 #include <sstream>
 
@@ -62,6 +63,90 @@ std::string csv_escape(const std::string& cell) {
     }
     quoted += '"';
     return quoted;
+}
+
+std::size_t csv_document::column(const std::string& name) const {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name) {
+            return i;
+        }
+    }
+    throw configuration_error("csv_document: no column named '" + name + "'");
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"'; // escaped quote
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    if (quoted) {
+        throw configuration_error("csv_split: unterminated quote in '" + line + "'");
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+csv_document csv_read(const std::string& path, bool has_header) {
+    std::ifstream in(path);
+    if (!in) {
+        throw configuration_error("csv_read: cannot open '" + path + "' for reading");
+    }
+
+    csv_document doc;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (line.empty()) {
+            continue;
+        }
+        auto cells = csv_split(line);
+        if (first && has_header) {
+            doc.header = std::move(cells);
+            first = false;
+            continue;
+        }
+        first = false;
+        std::vector<double> values;
+        values.reserve(cells.size());
+        for (const auto& cell : cells) {
+            // from_chars, not strtod: locale-independent, so the round trip
+            // survives a host program that set LC_NUMERIC.
+            double value = 0.0;
+            const char* end = cell.data() + cell.size();
+            const auto [ptr, ec] = std::from_chars(cell.data(), end, value);
+            if (ec != std::errc{} || ptr != end) {
+                throw configuration_error("csv_read: non-numeric cell '" + cell + "' in '" +
+                                          path + "'");
+            }
+            values.push_back(value);
+        }
+        doc.rows.push_back(std::move(values));
+    }
+    return doc;
 }
 
 } // namespace bistna

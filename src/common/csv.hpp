@@ -39,4 +39,25 @@ private:
 /// Quote a cell if it contains separators/quotes per RFC 4180.
 std::string csv_escape(const std::string& cell);
 
+/// A parsed CSV file: header row (may be empty) + data rows as doubles.
+struct csv_document {
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+
+    std::size_t columns() const noexcept { return header.size(); }
+
+    /// Index of a named column; throws configuration_error when absent.
+    std::size_t column(const std::string& name) const;
+};
+
+/// Parse one CSV line into cells, honouring RFC 4180 quoting (the inverse
+/// of csv_escape; embedded newlines are not supported).
+std::vector<std::string> csv_split(const std::string& line);
+
+/// Read a CSV written by csv_writer back in.  The first row is treated as
+/// the header when `has_header`; every remaining cell must parse as a
+/// double (throws configuration_error otherwise).  Round-trips
+/// csv_writer's max_digits10 formatting exactly.
+csv_document csv_read(const std::string& path, bool has_header = true);
+
 } // namespace bistna

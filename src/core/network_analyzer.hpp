@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/interval.hpp"
@@ -68,6 +69,15 @@ public:
 
     /// Characterize the stimulus through the calibration path (cached).
     const stimulus_calibration& calibrate();
+
+    /// Inject a previously measured calibration instead of running the
+    /// calibration path (the system is clock-normalized, so one stimulus
+    /// characterization is valid for every analyzer on the same board
+    /// design; used by the sweep engine to share one calibration across a
+    /// batch).
+    void set_calibration(stimulus_calibration calibration) {
+        calibration_ = std::move(calibration);
+    }
 
     /// Measure the DUT at one frequency point.
     frequency_point measure_point(hertz f_wave);

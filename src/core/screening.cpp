@@ -1,8 +1,10 @@
 #include "core/screening.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/sweep_engine.hpp"
 
 namespace bistna::core {
 
@@ -48,17 +50,16 @@ screening_report screen(network_analyzer& analyzer, const spec_mask& mask) {
     return report;
 }
 
-lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
-                      const spec_mask& mask, std::size_t dice, std::uint64_t first_seed) {
-    BISTNA_EXPECTS(dice > 0, "lot must contain at least one die");
+lot_result aggregate_lot(const std::vector<screening_report>& reports) {
     lot_result lot;
-    lot.dice = dice;
+    lot.dice = reports.size();
 
-    std::vector<std::vector<double>> gains(mask.limits.size());
-    for (std::size_t die = 0; die < dice; ++die) {
-        demonstrator_board board = factory(first_seed + die);
-        network_analyzer analyzer(board, settings);
-        const auto report = screen(analyzer, mask);
+    std::size_t limit_count = 0;
+    for (const auto& report : reports) {
+        limit_count = std::max(limit_count, report.limits.size());
+    }
+    std::vector<std::vector<double>> gains(limit_count);
+    for (const auto& report : reports) {
         lot.passed += report.passed ? 1 : 0;
         for (std::size_t i = 0; i < report.limits.size(); ++i) {
             gains[i].push_back(report.limits[i].measured_db);
@@ -70,6 +71,29 @@ lot_result screen_lot(const board_factory& factory, const analyzer_settings& set
         }
     }
     return lot;
+}
+
+lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
+                      const spec_mask& mask, std::size_t dice, std::uint64_t first_seed) {
+    BISTNA_EXPECTS(dice > 0, "lot must contain at least one die");
+    std::vector<screening_report> reports;
+    reports.reserve(dice);
+    for (std::size_t die = 0; die < dice; ++die) {
+        demonstrator_board board = factory(first_seed + die);
+        network_analyzer analyzer(board, settings);
+        reports.push_back(screen(analyzer, mask));
+    }
+    return aggregate_lot(reports);
+}
+
+lot_result screen_lot_parallel(const board_factory& factory,
+                               const analyzer_settings& settings, const spec_mask& mask,
+                               std::size_t dice, std::uint64_t first_seed,
+                               std::size_t threads) {
+    sweep_engine_options options;
+    options.threads = threads;
+    sweep_engine engine(factory, settings, options);
+    return engine.screen_lot(mask, dice, first_seed);
 }
 
 } // namespace bistna::core

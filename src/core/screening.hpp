@@ -67,9 +67,21 @@ struct lot_result {
     std::vector<summary> gain_distributions;
 };
 
+/// Aggregate per-die reports into a lot result (pass count + per-limit
+/// gain distributions); dice whose self-test failed contribute no gains.
+lot_result aggregate_lot(const std::vector<screening_report>& reports);
+
 /// Screen `dice` process draws; seeds are first_seed, first_seed+1, ...
 lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
                       const spec_mask& mask, std::size_t dice,
                       std::uint64_t first_seed = 1);
+
+/// Parallel screen_lot via the sweep engine's thread pool: bit-identical to
+/// the sequential version at any thread count (each die is an independent
+/// seeded draw).  threads = 0 uses hardware concurrency, 1 runs serially.
+lot_result screen_lot_parallel(const board_factory& factory,
+                               const analyzer_settings& settings, const spec_mask& mask,
+                               std::size_t dice, std::uint64_t first_seed = 1,
+                               std::size_t threads = 0);
 
 } // namespace bistna::core

@@ -1,0 +1,173 @@
+#include "core/sweep_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bistna::core {
+
+namespace {
+
+/// Run fn(0..count-1) on `threads` workers pulling indices from a shared
+/// atomic counter.  Results must be written to per-index slots by fn; the
+/// first exception thrown by any worker is rethrown on the caller after all
+/// workers have drained.  threads == 1 runs inline (serial fallback).
+template <typename Fn>
+void run_batch(std::size_t count, std::size_t threads, Fn&& fn) {
+    if (count == 0) {
+        return;
+    }
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+                next.store(count, std::memory_order_relaxed); // drain remaining work
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    const std::size_t spawned = std::min(threads, count);
+    pool.reserve(spawned);
+    for (std::size_t t = 0; t < spawned; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (auto& thread : pool) {
+        thread.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace
+
+std::uint64_t sweep_item_seed(std::uint64_t base_seed, std::size_t index) noexcept {
+    // splitmix64 finalizer over the item's position in the seed stream.
+    std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+sweep_engine::sweep_engine(board_factory factory, analyzer_settings settings,
+                           sweep_engine_options options)
+    : factory_(std::move(factory)), settings_(settings), options_(options) {
+    BISTNA_EXPECTS(factory_ != nullptr, "sweep engine requires a board factory");
+}
+
+std::size_t sweep_engine::resolved_threads() const noexcept {
+    if (options_.threads != 0) {
+        return options_.threads;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
+                               std::uint64_t board_seed) {
+    BISTNA_EXPECTS(!frequencies.empty(), "sweep requires at least one frequency");
+
+    const std::size_t threads = resolved_threads();
+    const auto start = std::chrono::steady_clock::now();
+
+    // One-time calibration, shared by every point.  The system is
+    // clock-normalized, so this is exactly the paper's single calibration;
+    // performing it with the batch's base seed keeps it independent of the
+    // per-point seeds and of scheduling.
+    std::optional<stimulus_calibration> shared_calibration;
+    if (options_.share_calibration && !settings_.recalibrate_per_point) {
+        demonstrator_board board = factory_(board_seed);
+        analyzer_settings calibration_settings = settings_;
+        calibration_settings.evaluator.seed = sweep_item_seed(options_.base_seed, 0);
+        network_analyzer analyzer(board, calibration_settings);
+        shared_calibration = analyzer.calibrate();
+    }
+
+    sweep_report report;
+    report.points.resize(frequencies.size());
+    report.threads_used = threads;
+
+    run_batch(frequencies.size(), threads, [&](std::size_t i) {
+        demonstrator_board board = factory_(board_seed);
+        analyzer_settings point_settings = settings_;
+        point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, i + 1);
+        network_analyzer analyzer(board, point_settings);
+        if (shared_calibration) {
+            analyzer.set_calibration(*shared_calibration);
+        }
+        report.points[i] = analyzer.measure_point(frequencies[i]);
+    });
+
+    report.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    std::vector<double> gain_errors;
+    gain_errors.reserve(report.points.size());
+    for (const auto& point : report.points) {
+        const double gain_error = std::abs(point.gain_db - point.ideal_gain_db);
+        const double phase_error = std::abs(point.phase_deg - point.ideal_phase_deg);
+        gain_errors.push_back(gain_error);
+        report.worst_gain_error_db = std::max(report.worst_gain_error_db, gain_error);
+        report.worst_phase_error_deg = std::max(report.worst_phase_error_deg, phase_error);
+        report.max_gain_bound_width_db =
+            std::max(report.max_gain_bound_width_db, point.gain_db_bounds.width());
+        if (!point.gain_db_bounds.contains(point.ideal_gain_db)) {
+            ++report.gain_bound_violations;
+        }
+    }
+    report.gain_error_db_summary = summarize(std::move(gain_errors));
+    return report;
+}
+
+std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
+                                                         std::size_t dice,
+                                                         std::uint64_t first_seed) {
+    BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
+
+    std::vector<screening_report> reports(dice);
+    run_batch(dice, resolved_threads(), [&](std::size_t die) {
+        // Same per-die construction as the sequential core::screen_lot: the
+        // die's identity comes solely from its factory seed, so the batch is
+        // bit-identical to the serial loop.
+        demonstrator_board board = factory_(first_seed + die);
+        network_analyzer analyzer(board, settings_);
+        reports[die] = screen(analyzer, mask);
+    });
+    return reports;
+}
+
+lot_result sweep_engine::screen_lot(const spec_mask& mask, std::size_t dice,
+                                    std::uint64_t first_seed) {
+    return aggregate_lot(screen_batch(mask, dice, first_seed));
+}
+
+} // namespace bistna::core

@@ -1,0 +1,140 @@
+// CSV write -> read round trip: csv_read must recover exactly what
+// csv_writer emitted (max_digits10 formatting makes doubles round-trip
+// bit-exactly through the text form).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace bistna;
+
+class temp_csv {
+public:
+    explicit temp_csv(const char* name) : path_(std::string("/tmp/") + name) {}
+    ~temp_csv() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+TEST(CsvRoundTrip, HeaderAndValuesSurviveExactly) {
+    temp_csv file("bistna_roundtrip_basic.csv");
+    const std::vector<std::string> header = {"f_hz", "gain_db", "phase_deg"};
+    const std::vector<std::vector<double>> rows = {
+        {100.0, -0.123456789012345, 179.5},
+        {1e6, 1.0 / 3.0, -2.718281828459045},
+        {-0.0, std::numeric_limits<double>::min(), 6.02214076e23},
+    };
+    {
+        csv_writer writer(file.path());
+        writer.header(header);
+        for (const auto& row : rows) {
+            writer.row(row);
+        }
+    }
+
+    const auto doc = csv_read(file.path());
+    EXPECT_EQ(doc.header, header);
+    ASSERT_EQ(doc.rows.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(doc.rows[r].size(), rows[r].size());
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            // Bit-exact: max_digits10 text preserves every double.
+            EXPECT_EQ(doc.rows[r][c], rows[r][c]) << "row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(CsvRoundTrip, RandomDoublesAreBitExact) {
+    temp_csv file("bistna_roundtrip_random.csv");
+    rng gen(2026);
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 64; ++r) {
+        std::vector<double> row;
+        for (int c = 0; c < 5; ++c) {
+            const double magnitude = std::pow(10.0, gen.uniform(-12.0, 12.0));
+            row.push_back(gen.gaussian() * magnitude);
+        }
+        rows.push_back(row);
+    }
+    {
+        csv_writer writer(file.path());
+        writer.header({"a", "b", "c", "d", "e"});
+        for (const auto& row : rows) {
+            writer.row(row);
+        }
+    }
+
+    const auto doc = csv_read(file.path());
+    ASSERT_EQ(doc.rows.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            EXPECT_EQ(doc.rows[r][c], rows[r][c]);
+        }
+    }
+}
+
+TEST(CsvRoundTrip, ColumnLookupByName) {
+    temp_csv file("bistna_roundtrip_columns.csv");
+    {
+        csv_writer writer(file.path());
+        writer.header({"f_hz", "gain_db"});
+        writer.row({1000.0, -3.0});
+    }
+    const auto doc = csv_read(file.path());
+    EXPECT_EQ(doc.column("f_hz"), 0u);
+    EXPECT_EQ(doc.column("gain_db"), 1u);
+    EXPECT_EQ(doc.rows[0][doc.column("gain_db")], -3.0);
+    EXPECT_THROW(doc.column("missing"), configuration_error);
+}
+
+TEST(CsvRoundTrip, QuotedHeaderCellsRoundTrip) {
+    temp_csv file("bistna_roundtrip_quoted.csv");
+    const std::vector<std::string> header = {"plain", "with,comma", "say \"hi\""};
+    {
+        csv_writer writer(file.path());
+        writer.header(header);
+        writer.row({1.0, 2.0, 3.0});
+    }
+    const auto doc = csv_read(file.path());
+    EXPECT_EQ(doc.header, header);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0], (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(CsvRoundTrip, SplitInvertsEscape) {
+    const std::vector<std::string> cells = {"a", "b,c", "d\"e\"", ""};
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            line += ',';
+        }
+        line += csv_escape(cells[i]);
+    }
+    EXPECT_EQ(csv_split(line), cells);
+}
+
+TEST(CsvRoundTrip, ReaderRejectsGarbage) {
+    EXPECT_THROW(csv_read("/nonexistent_dir_xyz/file.csv"), configuration_error);
+
+    temp_csv file("bistna_roundtrip_bad.csv");
+    {
+        csv_writer writer(file.path());
+        writer.header({"x"});
+        writer.text_row({"not-a-number"});
+    }
+    EXPECT_THROW(csv_read(file.path()), configuration_error);
+    EXPECT_THROW(csv_split("\"unterminated"), configuration_error);
+}
+
+} // namespace

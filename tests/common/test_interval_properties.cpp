@@ -1,0 +1,132 @@
+// Property-based checks of interval arithmetic: for randomly drawn
+// intervals and points inside them, the fundamental enclosure property
+// (x in A, y in B => x op y in A op B) must hold for +, -, *, and the
+// result widths must behave monotonically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace bistna;
+
+constexpr int kTrials = 2000;
+
+interval random_interval(rng& gen, double scale) {
+    const double a = gen.uniform(-scale, scale);
+    const double b = gen.uniform(-scale, scale);
+    return interval::from_unordered(a, b);
+}
+
+double random_point_in(rng& gen, const interval& iv) {
+    return iv.lo() + gen.uniform() * iv.width();
+}
+
+TEST(IntervalProperties, AdditionContainsPointwiseSums) {
+    rng gen(101);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 10.0);
+        const interval b = random_interval(gen, 10.0);
+        const double x = random_point_in(gen, a);
+        const double y = random_point_in(gen, b);
+        const interval sum = a + b;
+        EXPECT_TRUE(sum.contains(x + y))
+            << a << " + " << b << " should contain " << x + y;
+    }
+}
+
+TEST(IntervalProperties, SubtractionContainsPointwiseDifferences) {
+    rng gen(102);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 10.0);
+        const interval b = random_interval(gen, 10.0);
+        const double x = random_point_in(gen, a);
+        const double y = random_point_in(gen, b);
+        EXPECT_TRUE((a - b).contains(x - y));
+    }
+}
+
+TEST(IntervalProperties, MultiplicationContainsPointwiseProducts) {
+    rng gen(103);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 6.0);
+        const interval b = random_interval(gen, 6.0);
+        const double x = random_point_in(gen, a);
+        const double y = random_point_in(gen, b);
+        // The exact product x*y may fall a rounding step outside the
+        // interval-arithmetic endpoints; allow one ulp-scale slack.
+        const interval product = (a * b) + interval::centered(0.0, 1e-12);
+        EXPECT_TRUE(product.contains(x * y))
+            << a << " * " << b << " should contain " << x * y;
+    }
+}
+
+TEST(IntervalProperties, AdditionWidthIsSumOfWidths) {
+    rng gen(104);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 10.0);
+        const interval b = random_interval(gen, 10.0);
+        EXPECT_NEAR((a + b).width(), a.width() + b.width(), 1e-12);
+        EXPECT_NEAR((a - b).width(), a.width() + b.width(), 1e-12);
+    }
+}
+
+TEST(IntervalProperties, WidthIsMonotoneUnderContainment) {
+    // A contained in B  =>  A op C contained in B op C (inclusion
+    // isotonicity), hence width(A op C) <= width(B op C).
+    rng gen(105);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval b = random_interval(gen, 10.0);
+        const double lo = random_point_in(gen, b);
+        const interval a = interval::from_unordered(lo, random_point_in(gen, b));
+        ASSERT_TRUE(b.contains(a));
+
+        const interval c = random_interval(gen, 5.0);
+        EXPECT_TRUE((b + c).contains(a + c));
+        EXPECT_TRUE((b - c).contains(a - c));
+        EXPECT_LE((a + c).width(), (b + c).width() + 1e-12);
+        EXPECT_LE((a * c).width(), (b * c).width() + 1e-12);
+        EXPECT_TRUE(square(b).contains(square(a)));
+    }
+}
+
+TEST(IntervalProperties, DerivedFunctionsPreserveEnclosure) {
+    rng gen(106);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 4.0);
+        const double x = random_point_in(gen, a);
+        EXPECT_TRUE(square(a).contains(x * x));
+        EXPECT_TRUE(atan(a).contains(std::atan(x)));
+
+        const interval positive = interval(std::abs(a.lo()), std::abs(a.lo()) + a.width());
+        const double p = positive.lo() + gen.uniform() * positive.width();
+        EXPECT_TRUE(sqrt(positive).contains(std::sqrt(p)));
+
+        const interval b = random_interval(gen, 4.0);
+        const double y = random_point_in(gen, b);
+        const interval hyp = hypot(a, b) + interval::centered(0.0, 1e-12);
+        EXPECT_TRUE(hyp.contains(std::hypot(x, y)));
+    }
+}
+
+TEST(IntervalProperties, HullAndIntersectBracketTheInputs) {
+    rng gen(107);
+    for (int t = 0; t < kTrials; ++t) {
+        const interval a = random_interval(gen, 10.0);
+        const interval b = random_interval(gen, 10.0);
+        const interval h = hull(a, b);
+        EXPECT_TRUE(h.contains(a));
+        EXPECT_TRUE(h.contains(b));
+        if (a.intersects(b)) {
+            const interval m = intersect(a, b);
+            EXPECT_TRUE(a.contains(m));
+            EXPECT_TRUE(b.contains(m));
+            EXPECT_LE(m.width(), std::min(a.width(), b.width()) + 1e-15);
+        }
+    }
+}
+
+} // namespace

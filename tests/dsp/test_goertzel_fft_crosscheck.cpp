@@ -1,0 +1,123 @@
+// Cross-check of the two single-tone readout paths: the Goertzel
+// correlation and the radix-2 FFT must agree on bin magnitude and phase to
+// 1e-9 on quantized-sine records (the generator's 16-step sequence and an
+// amplitude-quantized ADC-style sine).  Both are compared in the tone
+// amplitude scale (2/N normalization), the scale measurements are quoted in.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/goertzel.hpp"
+#include "gen/quantized_sine.hpp"
+
+namespace {
+
+using namespace bistna;
+
+constexpr double kTol = 1e-9;
+
+/// FFT bin k rescaled to tone amplitude: (2/N) * X[k], the same scale
+/// dsp::goertzel reports.
+std::complex<double> fft_tone(const std::vector<std::complex<double>>& spectrum,
+                              std::size_t samples, std::size_t k) {
+    return spectrum[k] * (2.0 / static_cast<double>(samples));
+}
+
+/// Goertzel of integer bin k on an N-sample record (fs chosen for 1 Hz
+/// bin spacing).
+std::complex<double> goertzel_tone(const std::vector<double>& record, std::size_t k) {
+    return dsp::goertzel(record, static_cast<double>(k),
+                         static_cast<double>(record.size()));
+}
+
+/// The generator's quantized 16-step sine (paper Fig. 2c), repeated.
+std::vector<double> generator_record(std::size_t samples, double amplitude, double dc) {
+    std::vector<double> record(samples);
+    for (std::size_t n = 0; n < samples; ++n) {
+        record[n] = dc + amplitude * gen::control_sequencer::ideal_step_value(n);
+    }
+    return record;
+}
+
+/// A sine amplitude-quantized to `bits` (mid-tread ADC model).
+std::vector<double> quantized_sine_record(std::size_t samples, std::size_t cycles,
+                                          double amplitude, double phase,
+                                          unsigned bits) {
+    const double step = amplitude / static_cast<double>(1u << (bits - 1));
+    std::vector<double> record(samples);
+    for (std::size_t n = 0; n < samples; ++n) {
+        const double x = amplitude * std::sin(two_pi * static_cast<double>(cycles) *
+                                                  static_cast<double>(n) /
+                                                  static_cast<double>(samples) +
+                                              phase);
+        record[n] = step * std::round(x / step);
+    }
+    return record;
+}
+
+void expect_tone_agreement(const std::vector<double>& record, std::size_t bin) {
+    const auto spectrum = dsp::rfft(record);
+    const auto direct = goertzel_tone(record, bin);
+    const auto via_fft = fft_tone(spectrum, record.size(), bin);
+    EXPECT_NEAR(std::abs(direct), std::abs(via_fft), kTol) << "bin " << bin << " magnitude";
+    // Compare phases through the complex difference first, so bins at the
+    // numerical noise floor (phase meaningless) cannot false-alarm ...
+    EXPECT_NEAR(std::abs(direct - via_fft), 0.0, kTol) << "bin " << bin << " complex";
+    // ... and directly where the tone is strong enough to carry phase.
+    if (std::abs(via_fft) > 1e-6) {
+        EXPECT_NEAR(wrap_phase(std::arg(direct) - std::arg(via_fft)), 0.0, kTol)
+            << "bin " << bin << " phase";
+    }
+}
+
+TEST(GoertzelFftCrosscheck, GeneratorStaircaseRecord) {
+    // 4096 samples of the 16-step generator sequence: 256 full cycles, an
+    // exact discrete sine at bin 256 by construction.
+    const auto record = generator_record(4096, 0.3, 0.0);
+    for (std::size_t k = 1; k <= 16; ++k) {
+        expect_tone_agreement(record, k); // empty low bins must agree on ~0 too
+    }
+    expect_tone_agreement(record, 256);
+
+    // The fundamental recovers the programmed amplitude on both paths.
+    const auto spectrum = dsp::rfft(record);
+    EXPECT_NEAR(std::abs(goertzel_tone(record, 256)), 0.3, kTol);
+    EXPECT_NEAR(std::abs(fft_tone(spectrum, record.size(), 256)), 0.3, kTol);
+}
+
+TEST(GoertzelFftCrosscheck, QuantizedSineManyBits) {
+    const auto record = quantized_sine_record(2048, 64, 0.5, 0.7, 12);
+    for (std::size_t k = 1; k <= 8; ++k) {
+        expect_tone_agreement(record, k);
+    }
+    expect_tone_agreement(record, 64);
+
+    // Phase convention check: goertzel reports the cosine-referenced phase
+    // of A sin(wt + p) = A cos(wt + p - pi/2).
+    const auto direct = goertzel_tone(record, 64);
+    EXPECT_NEAR(wrap_phase(std::arg(direct) - (0.7 - half_pi)), 0.0, 1e-4);
+}
+
+TEST(GoertzelFftCrosscheck, CoarseQuantizationStillAgrees) {
+    // 4-bit quantization produces strong harmonics; the two readouts must
+    // still agree bin-for-bin because they compute the same DFT.
+    const auto record = quantized_sine_record(1024, 8, 0.4, -1.1, 4);
+    const auto spectrum = dsp::rfft(record);
+    for (std::size_t k = 1; k < spectrum.size() - 1; k += 37) {
+        const auto direct = goertzel_tone(record, k);
+        const auto via_fft = fft_tone(spectrum, record.size(), k);
+        EXPECT_NEAR(std::abs(direct - via_fft), 0.0, kTol) << "bin " << k;
+    }
+}
+
+TEST(GoertzelFftCrosscheck, DcOffsetDoesNotLeakIntoTheFundamental) {
+    const auto record = generator_record(4096, 0.25, 0.1);
+    expect_tone_agreement(record, 256);
+    EXPECT_NEAR(std::abs(goertzel_tone(record, 256)), 0.25, kTol);
+}
+
+} // namespace
