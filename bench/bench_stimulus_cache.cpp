@@ -1,0 +1,154 @@
+// Stimulus-record cache: wall-clock gain and bit-identity gate.
+//
+// The system is clock-normalized, so the generator staircase a Bode sweep
+// renders is identical at every frequency point -- the cache renders it
+// once per batch instead of once per point.  This bench runs the same
+// >= 16-point parallel Bode sweep with the cache enabled and disabled:
+//
+//   * with the realistic generator (0.35 um process draw + folded-cascode
+//     op-amp noise, the paper's demonstrator) it gates a >= 1.5x wall-clock
+//     speedup -- the switched-capacitor generator simulation dominated the
+//     per-point render cost;
+//   * with the ideal (noise-free) generator it asserts the cached and
+//     uncached frequency_point results are bit-identical (they are under
+//     the realistic generator too, because a fresh generator re-seeds its
+//     noise streams deterministically per render -- both configs are
+//     checked).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sweep.hpp"
+#include "core/sweep_engine.hpp"
+#include "dut/filters.hpp"
+#include "gen/generator.hpp"
+
+namespace {
+
+using namespace bistna;
+
+core::board_factory make_factory(bool ideal_generator) {
+    return [ideal_generator](std::uint64_t seed) {
+        auto params =
+            ideal_generator ? gen::generator_params::ideal() : gen::generator_params{};
+        core::demonstrator_board board(params, dut::make_paper_dut(0.01, seed));
+        board.set_amplitude(millivolt(150.0));
+        return board;
+    };
+}
+
+bool points_identical(const std::vector<core::frequency_point>& a,
+                      const std::vector<core::frequency_point>& b) {
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].f_wave.value != b[i].f_wave.value || a[i].gain_db != b[i].gain_db ||
+            a[i].gain_db_bounds != b[i].gain_db_bounds || a[i].phase_deg != b[i].phase_deg ||
+            a[i].phase_deg_bounds != b[i].phase_deg_bounds) {
+            return false;
+        }
+    }
+    return true;
+}
+
+struct sweep_timing {
+    core::sweep_report report;
+    core::stimulus_cache_stats cache;
+};
+
+/// Run the batch `repeats` times on a fresh engine each time and keep the
+/// fastest run (wall-clock is noisy on loaded machines; min is the honest
+/// estimate of the work).
+sweep_timing best_of(const core::board_factory& factory,
+                     const core::analyzer_settings& settings,
+                     const std::vector<hertz>& frequencies, bool share_stimulus,
+                     int repeats) {
+    sweep_timing best;
+    for (int i = 0; i < repeats; ++i) {
+        core::sweep_engine_options options;
+        options.threads = 4; // parallel, but deterministic w.r.t. the host
+        options.share_stimulus = share_stimulus;
+        core::sweep_engine engine(factory, settings, options);
+        auto report = engine.run(frequencies);
+        if (i == 0 || report.elapsed_seconds < best.report.elapsed_seconds) {
+            best.cache = engine.stimulus_stats();
+            best.report = std::move(report);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int main() {
+    using namespace bistna;
+
+    bench::banner("stimulus-record cache",
+                  "one clock-normalized staircase render shared across a parallel "
+                  "Bode batch (cache on vs. off)");
+
+    core::analyzer_settings settings;
+    settings.periods = 200;
+    settings.settle_periods = 32;
+    // The default ideal modulator has exactly zero offset; running its
+    // 4096-period offset calibration per point would only add a constant
+    // unrelated to the render pipeline under test.
+    settings.evaluator.offset = eval::offset_mode::none;
+    const auto frequencies = core::log_spaced(hertz{100.0}, kilohertz(20.0), 24);
+
+    // --- Speedup gate: the realistic generator (process draw + op-amp
+    // noise) is where the render reuse pays.
+    const auto realistic = make_factory(/*ideal_generator=*/false);
+    const auto uncached = best_of(realistic, settings, frequencies, false, 3);
+    const auto cached = best_of(realistic, settings, frequencies, true, 3);
+
+    const bool realistic_identical = points_identical(uncached.report.points,
+                                                      cached.report.points);
+    const double speedup = cached.report.elapsed_seconds > 0.0
+                               ? uncached.report.elapsed_seconds /
+                                     cached.report.elapsed_seconds
+                               : 0.0;
+    std::cout << "\nRealistic generator, " << frequencies.size()
+              << "-point Bode batch (M = " << settings.periods << ", settle "
+              << settings.settle_periods << ", 4 threads, best of 3):\n"
+              << "  cache off: " << uncached.report.elapsed_seconds << " s\n"
+              << "  cache on:  " << cached.report.elapsed_seconds << " s ("
+              << cached.cache.misses << " staircase render(s), " << cached.cache.hits
+              << " reuses)\n"
+              << "  speedup: " << speedup << "x\n"
+              << "  outputs bit-identical: " << (realistic_identical ? "YES" : "NO") << "\n";
+
+    // --- Bit-identity gate under the ideal (noise-free) generator.
+    const auto ideal = make_factory(/*ideal_generator=*/true);
+    const auto ideal_uncached = best_of(ideal, settings, frequencies, false, 1);
+    const auto ideal_cached = best_of(ideal, settings, frequencies, true, 1);
+    const bool ideal_identical =
+        points_identical(ideal_uncached.report.points, ideal_cached.report.points);
+    std::cout << "\nIdeal (noise-free) generator, same batch:\n"
+              << "  outputs bit-identical: " << (ideal_identical ? "YES" : "NO") << "\n";
+
+    bench::footnote("Clock normalization means the staircase is the same discrete "
+                    "sequence at every master clock; caching it changes nothing but "
+                    "the wall clock.");
+
+    bool failed = false;
+    if (!ideal_identical || !realistic_identical) {
+        std::cerr << "FAILURE: cached sweep diverged from uncached reference\n";
+        failed = true;
+    }
+    if (cached.cache.misses != 1) {
+        std::cerr << "FAILURE: expected exactly one staircase render with the cache on, "
+                  << "got " << cached.cache.misses << "\n";
+        failed = true;
+    }
+    if (speedup < 1.5) {
+        std::cerr << "FAILURE: expected >= 1.5x speedup from the stimulus cache, got "
+                  << speedup << "x\n";
+        failed = true;
+    }
+    return failed ? 1 : 0;
+}

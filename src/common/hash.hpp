@@ -1,0 +1,33 @@
+// Tiny shared hashing helpers (FNV-1a) for cache keys and fingerprints.
+//
+// The stimulus cache's key (core/stimulus_cache) is assembled from hashes
+// computed in several translation units (generator fingerprint, amplitude
+// bits, key folding); keeping the mixing and the double canonicalization in
+// one place guarantees they cannot drift apart.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bistna {
+
+inline constexpr std::uint64_t fnv1a_offset_basis = 0xCBF29CE484222325ULL;
+
+/// One FNV-1a accumulation step over a raw 64-bit word.
+inline void fnv1a_mix(std::uint64_t& hash, std::uint64_t word) noexcept {
+    hash ^= word;
+    hash *= 0x100000001B3ULL;
+}
+
+/// Bit pattern of a double with -0.0 folded onto 0.0, so the two equal
+/// values can never produce distinct hashes/keys.
+inline std::uint64_t canonical_double_bits(double value) noexcept {
+    return std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value);
+}
+
+/// FNV-1a accumulation of a double by canonical bit pattern.
+inline void fnv1a_mix(std::uint64_t& hash, double value) noexcept {
+    fnv1a_mix(hash, canonical_double_bits(value));
+}
+
+} // namespace bistna

@@ -85,4 +85,13 @@ bool rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 rng rng::spawn() noexcept { return rng(next_u64()); }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    // splitmix64 finalizer over the (seed, stream id) pair; the golden-ratio
+    // stride keeps consecutive stream ids far apart in the input domain.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace bistna

@@ -47,4 +47,12 @@ private:
     bool has_cached_gaussian_ = false;
 };
 
+/// Seed of the `stream_id`-th independent child stream rooted at `seed`
+/// (splitmix64 finalizer over the tagged root, the same construction as
+/// core::sweep_item_seed).  Unlike chained rng::spawn() calls, two distinct
+/// stream ids never alias each other's stream, so consumers that need
+/// several uncorrelated streams from one seed (process draw vs. op-amp
+/// noise, per-item batch seeds) tag each use with its own id.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream_id) noexcept;
+
 } // namespace bistna

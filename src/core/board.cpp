@@ -1,6 +1,9 @@
 #include "core/board.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace bistna::core {
 
@@ -15,34 +18,83 @@ std::vector<double> demonstrator_board::render(const sim::timebase& tb, std::siz
                                                std::size_t settle_periods) {
     BISTNA_EXPECTS(periods > 0, "must render at least one period");
 
-    // Fresh instances per render: the hardware is reset between
+    if (stimulus_cache_) {
+        const auto staircase = stimulus_cache_->get_or_render(
+            stimulus_cache_key(periods, settle_periods),
+            [&] { return render_stimulus(periods, settle_periods); });
+        return render_from_stimulus(*staircase, tb, periods, path, settle_periods);
+    }
+    const auto staircase = render_stimulus(periods, settle_periods);
+    return render_from_stimulus(staircase, tb, periods, path, settle_periods);
+}
+
+std::vector<double> demonstrator_board::render_stimulus(std::size_t periods,
+                                                        std::size_t settle_periods) const {
+    BISTNA_EXPECTS(periods > 0, "must render at least one period");
+
+    // A fresh generator per render: the hardware is reset between
     // acquisitions, and rendering from generator phase 0 keeps records
-    // phase-coherent across calibration and measurement runs.
+    // phase-coherent across calibration and measurement runs.  The staircase
+    // is a pure function of (generator params, amplitude, period counts), so
+    // repeated renders -- and therefore cached reuse -- are bit-identical.
     gen::sinewave_generator generator(gen_params_);
     generator.set_amplitude(va_diff_);
-    dut_->reset();
-    dut_->prepare(tb.master().value);
 
     const std::size_t hold = sim::timebase::generator_divider; // 6 f_eva ticks
     const std::size_t total_periods = settle_periods + periods;
-    const std::size_t total_samples = tb.samples_for_periods(total_periods);
-    const std::size_t keep_from = tb.samples_for_periods(settle_periods);
+    const std::size_t total_samples = total_periods * sim::timebase::oversampling_ratio;
 
-    std::vector<double> record;
-    record.reserve(tb.samples_for_periods(periods));
-
+    std::vector<double> staircase;
+    staircase.reserve(total_samples);
     double held = 0.0;
     sim::clock_divider divider(hold);
     for (std::size_t n = 0; n < total_samples; ++n) {
         if (divider.tick()) {
             held = generator.step(); // generator updates at f_gen = f_eva/6
         }
-        const double node = path == signal_path::through_dut ? dut_->process(held) : held;
-        if (n >= keep_from) {
-            record.push_back(node);
-        }
+        staircase.push_back(held);
     }
+    return staircase;
+}
+
+std::vector<double> demonstrator_board::render_from_stimulus(
+    const std::vector<double>& staircase, const sim::timebase& tb, std::size_t periods,
+    signal_path path, std::size_t settle_periods) {
+    BISTNA_EXPECTS(periods > 0, "must render at least one period");
+    const std::size_t total_samples = tb.samples_for_periods(settle_periods + periods);
+    BISTNA_EXPECTS(staircase.size() == total_samples,
+                   "staircase length does not match the requested period counts");
+    const std::size_t keep_from = tb.samples_for_periods(settle_periods);
+
+    if (path == signal_path::calibration) {
+        // Dashed path of Fig. 1: the evaluator samples the staircase itself.
+        return std::vector<double>(
+            staircase.begin() + static_cast<std::ptrdiff_t>(keep_from), staircase.end());
+    }
+
+    // The DUT filters the staircase in continuous time (exact ZOH state
+    // space at this timebase's master clock) -- the only stage of a render
+    // that actually depends on the master-clock frequency.  Two block calls
+    // over one DUT state: the settle prefix lands in a discard buffer, the
+    // kept tail is written straight into the record (no full-length copy).
+    dut_->reset();
+    dut_->prepare(tb.master().value);
+    const std::span<const double> input(staircase);
+    std::vector<double> discard(keep_from);
+    dut_->process_block(input.first(keep_from), discard);
+    std::vector<double> record(total_samples - keep_from);
+    dut_->process_block(input.subspan(keep_from), record);
     return record;
+}
+
+stimulus_key demonstrator_board::stimulus_cache_key(std::size_t periods,
+                                                    std::size_t settle_periods) const {
+    stimulus_key key;
+    key.design_fingerprint = gen_params_.fingerprint();
+    key.amplitude_bits = canonical_double_bits(va_diff_.value);
+    key.periods = periods;
+    key.settle_periods = settle_periods;
+    return key;
 }
 
 eval::sample_source demonstrator_board::as_source(std::vector<double> record) {

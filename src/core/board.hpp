@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/stimulus_cache.hpp"
 #include "dut/dut.hpp"
 #include "eval/signature.hpp"
 #include "gen/generator.hpp"
@@ -39,8 +40,45 @@ public:
     /// grid after discarding `settle_periods` (generator + DUT transients).
     /// The record starts at generator phase 0, so repeated renders are
     /// phase-coherent with the evaluator's square waves.
+    ///
+    /// Internally two stages: render_stimulus (frequency-independent,
+    /// cacheable) then render_from_stimulus (per-timebase DUT filtering).
+    /// When a stimulus cache is attached the first stage is fetched from /
+    /// published to it; results are bit-identical either way because the
+    /// staircase is a pure function of the generator parameters.
     std::vector<double> render(const sim::timebase& tb, std::size_t periods,
                                signal_path path, std::size_t settle_periods = 32);
+
+    /// Stage 1: the generator staircase on the f_eva grid covering
+    /// settle_periods + periods periods from generator phase 0.  The system
+    /// is clock-normalized, so this sequence is *identical at every master
+    /// clock* -- it depends only on the generator design, the programmed
+    /// amplitude and the period counts.
+    std::vector<double> render_stimulus(std::size_t periods,
+                                        std::size_t settle_periods) const;
+
+    /// Stage 2: filter a staircase from render_stimulus through the
+    /// selected path on timebase `tb` (ZOH state-space pass for the DUT
+    /// path, plain pass-through for the calibration path) and keep the last
+    /// `periods` periods.
+    std::vector<double> render_from_stimulus(const std::vector<double>& staircase,
+                                             const sim::timebase& tb, std::size_t periods,
+                                             signal_path path, std::size_t settle_periods);
+
+    /// Attach (or detach, with nullptr) a shared stimulus-record cache.
+    /// Safe to share one cache across boards and threads; boards with
+    /// different generator designs never collide because the key includes
+    /// the design fingerprint.
+    void set_stimulus_cache(std::shared_ptr<stimulus_cache> cache) {
+        stimulus_cache_ = std::move(cache);
+    }
+    const std::shared_ptr<stimulus_cache>& shared_stimulus_cache() const noexcept {
+        return stimulus_cache_;
+    }
+
+    /// The cache key render() uses for the stimulus stage of this board in
+    /// its current configuration.
+    stimulus_key stimulus_cache_key(std::size_t periods, std::size_t settle_periods) const;
 
     /// Wrap a rendered record as an evaluator sample source.
     static eval::sample_source as_source(std::vector<double> record);
@@ -53,6 +91,7 @@ private:
     gen::generator_params gen_params_;
     std::unique_ptr<dut::device_under_test> dut_;
     volt va_diff_{0.15};
+    std::shared_ptr<stimulus_cache> stimulus_cache_;
 };
 
 } // namespace bistna::core

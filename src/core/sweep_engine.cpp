@@ -71,17 +71,29 @@ void run_batch(std::size_t count, std::size_t threads, Fn&& fn) {
 } // namespace
 
 std::uint64_t sweep_item_seed(std::uint64_t base_seed, std::size_t index) noexcept {
-    // splitmix64 finalizer over the item's position in the seed stream.
-    std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
+    // The item's position in the seed stream is just a stream id.
+    return derive_stream_seed(base_seed, static_cast<std::uint64_t>(index));
 }
 
 sweep_engine::sweep_engine(board_factory factory, analyzer_settings settings,
                            sweep_engine_options options)
     : factory_(std::move(factory)), settings_(settings), options_(options) {
     BISTNA_EXPECTS(factory_ != nullptr, "sweep engine requires a board factory");
+    if (options_.share_stimulus) {
+        stimulus_cache_ = std::make_shared<stimulus_cache>(options_.stimulus_cache_entries);
+    }
+}
+
+demonstrator_board sweep_engine::make_board(std::uint64_t seed) const {
+    demonstrator_board board = factory_(seed);
+    if (stimulus_cache_) {
+        board.set_stimulus_cache(stimulus_cache_);
+    }
+    return board;
+}
+
+stimulus_cache_stats sweep_engine::stimulus_stats() const {
+    return stimulus_cache_ ? stimulus_cache_->stats() : stimulus_cache_stats{};
 }
 
 std::size_t sweep_engine::resolved_threads() const noexcept {
@@ -105,7 +117,7 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
     // per-point seeds and of scheduling.
     std::optional<stimulus_calibration> shared_calibration;
     if (options_.share_calibration && !settings_.recalibrate_per_point) {
-        demonstrator_board board = factory_(board_seed);
+        demonstrator_board board = make_board(board_seed);
         analyzer_settings calibration_settings = settings_;
         calibration_settings.evaluator.seed = sweep_item_seed(options_.base_seed, 0);
         network_analyzer analyzer(board, calibration_settings);
@@ -117,7 +129,7 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
     report.threads_used = threads;
 
     run_batch(frequencies.size(), threads, [&](std::size_t i) {
-        demonstrator_board board = factory_(board_seed);
+        demonstrator_board board = make_board(board_seed);
         analyzer_settings point_settings = settings_;
         point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, i + 1);
         network_analyzer analyzer(board, point_settings);
@@ -157,8 +169,10 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
     run_batch(dice, resolved_threads(), [&](std::size_t die) {
         // Same per-die construction as the sequential core::screen_lot: the
         // die's identity comes solely from its factory seed, so the batch is
-        // bit-identical to the serial loop.
-        demonstrator_board board = factory_(first_seed + die);
+        // bit-identical to the serial loop (the shared stimulus cache keys
+        // on the generator design fingerprint, so a record is reused across
+        // dice only when their stimulus is genuinely identical).
+        demonstrator_board board = make_board(first_seed + die);
         network_analyzer analyzer(board, settings_);
         reports[die] = screen(analyzer, mask);
     });

@@ -20,11 +20,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/statistics.hpp"
 #include "common/units.hpp"
 #include "core/screening.hpp"
+#include "core/stimulus_cache.hpp"
 
 namespace bistna::core {
 
@@ -38,6 +40,15 @@ struct sweep_engine_options {
     /// point's analyzer (the paper's one-time-calibration claim); when false
     /// each point re-runs the calibration path itself.
     bool share_calibration = true;
+    /// Share one stimulus-record cache across every board the engine
+    /// constructs: the clock-normalized staircase is rendered once per
+    /// (design, amplitude, periods, settle) and reused by every frequency
+    /// point / die that needs it.  Bit-identical to rendering per point.
+    bool share_stimulus = true;
+    /// Capacity of the shared stimulus cache (records, oldest evicted
+    /// first).  A Bode batch needs 1; a screening batch needs one per die
+    /// concurrently in flight.
+    std::size_t stimulus_cache_entries = 64;
 };
 
 /// Aggregated outcome of a parallel Bode batch.
@@ -83,10 +94,19 @@ public:
 
     const sweep_engine_options& options() const noexcept { return options_; }
 
+    /// Hit/miss/eviction counters of the shared stimulus cache, accumulated
+    /// over every batch this engine has run (all zeros when share_stimulus
+    /// is off).
+    stimulus_cache_stats stimulus_stats() const;
+
 private:
+    /// Build the work item's board and attach the shared cache to it.
+    demonstrator_board make_board(std::uint64_t seed) const;
+
     board_factory factory_;
     analyzer_settings settings_;
     sweep_engine_options options_;
+    std::shared_ptr<stimulus_cache> stimulus_cache_;
 };
 
 /// Seed for work item `index` of a batch rooted at `base_seed` (splitmix64

@@ -10,6 +10,10 @@ void linear_dut::prepare(double sample_rate_hz) { realization_.prepare(sample_ra
 
 double linear_dut::process(double input) { return realization_.step(input); }
 
+void linear_dut::process_block(std::span<const double> input, std::span<double> output) {
+    realization_.step_block(input, output);
+}
+
 void linear_dut::reset() { realization_.reset(); }
 
 std::complex<double> linear_dut::ideal_response(double frequency_hz) const {

@@ -9,8 +9,10 @@
 
 #include <complex>
 #include <memory>
+#include <span>
 #include <string>
 
+#include "common/error.hpp"
 #include "dut/state_space.hpp"
 #include "dut/transfer_function.hpp"
 
@@ -25,6 +27,18 @@ public:
 
     /// One master-clock sample through the device.
     virtual double process(double input) = 0;
+
+    /// A whole record through the device (output[i] = the process() result
+    /// for input[i]; output.size() must equal input.size()).  Semantically
+    /// identical to calling process() per sample -- the default does exactly
+    /// that -- but overridable so the board's DUT-filtering stage runs
+    /// without per-sample virtual dispatch (see linear_dut).
+    virtual void process_block(std::span<const double> input, std::span<double> output) {
+        BISTNA_EXPECTS(input.size() == output.size(), "block output must match input length");
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            output[i] = process(input[i]);
+        }
+    }
 
     /// Zero all internal state.
     virtual void reset() = 0;
@@ -52,6 +66,7 @@ public:
 
     void prepare(double sample_rate_hz) override;
     double process(double input) override;
+    void process_block(std::span<const double> input, std::span<double> output) override;
     void reset() override;
     std::complex<double> ideal_response(double frequency_hz) const override;
     std::string description() const override { return name_; }

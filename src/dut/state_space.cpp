@@ -11,6 +11,7 @@ state_space::state_space(linalg::matrix a, linalg::matrix b, linalg::matrix c, d
     BISTNA_EXPECTS(b_.rows() == a_.rows() && b_.cols() == 1, "B must be n x 1");
     BISTNA_EXPECTS(c_.rows() == 1 && c_.cols() == a_.rows(), "C must be 1 x n");
     state_.assign(a_.rows(), 0.0);
+    scratch_.assign(a_.rows(), 0.0);
 }
 
 state_space state_space::from_transfer_function(const transfer_function& tf) {
@@ -66,16 +67,48 @@ double state_space::step(double input) {
     for (std::size_t c = 0; c < n; ++c) {
         y += c_(0, c) * state_[c];
     }
-    std::vector<double> next(n, 0.0);
+    // scratch_ is a member, not a local: this is the sweep hot path, and a
+    // per-sample heap allocation here dominates the whole DUT-filtering
+    // stage (see bench_stimulus_cache).
     for (std::size_t r = 0; r < n; ++r) {
         double acc = bd_(r, 0) * input;
         for (std::size_t c = 0; c < n; ++c) {
             acc += ad_(r, c) * state_[c];
         }
-        next[r] = acc;
+        scratch_[r] = acc;
     }
-    state_ = std::move(next);
+    state_.swap(scratch_);
     return y;
+}
+
+void state_space::step_block(std::span<const double> input, std::span<double> output) {
+    BISTNA_EXPECTS(prepared_, "state_space::prepare(sample_rate) must be called first");
+    BISTNA_EXPECTS(input.size() == output.size(), "block output must match input length");
+    const std::size_t n = state_.size();
+    if (n == 2) {
+        // The common DUTs are biquadratic; keeping their state in registers
+        // roughly halves the cost of the sweep's DUT-filtering stage.  Same
+        // operations in the same order as step(), so bit-identical.
+        const double a00 = ad_(0, 0), a01 = ad_(0, 1), a10 = ad_(1, 0), a11 = ad_(1, 1);
+        const double b0 = bd_(0, 0), b1 = bd_(1, 0);
+        const double c0 = c_(0, 0), c1 = c_(0, 1);
+        double x0 = state_[0], x1 = state_[1];
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            const double u = input[i];
+            // Same association order as step(): left-to-right accumulation.
+            output[i] = (d_ * u + c0 * x0) + c1 * x1;
+            const double next0 = (b0 * u + a00 * x0) + a01 * x1;
+            const double next1 = (b1 * u + a10 * x0) + a11 * x1;
+            x0 = next0;
+            x1 = next1;
+        }
+        state_[0] = x0;
+        state_[1] = x1;
+        return;
+    }
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        output[i] = step(input[i]);
+    }
 }
 
 void state_space::reset() { state_.assign(state_.size(), 0.0); }

@@ -8,6 +8,8 @@
 // sampling instants (DESIGN.md section 2).
 #pragma once
 
+#include <span>
+
 #include "dut/transfer_function.hpp"
 #include "linalg/matrix.hpp"
 
@@ -30,6 +32,12 @@ public:
     /// evaluator samples the settled board signal.
     double step(double input);
 
+    /// step() over a whole record (output.size() == input.size()), sample
+    /// for sample bit-identical to the scalar loop but with the per-sample
+    /// call and precondition overhead hoisted out -- the board's
+    /// DUT-filtering hot path.
+    void step_block(std::span<const double> input, std::span<double> output);
+
     /// Zero the state.
     void reset();
 
@@ -41,6 +49,7 @@ private:
     double d_;
     linalg::matrix ad_, bd_;
     std::vector<double> state_;
+    std::vector<double> scratch_; ///< next-state buffer, swapped each step
     bool prepared_ = false;
 };
 

@@ -29,11 +29,25 @@ struct generator_params {
 
     /// Fully ideal instance (exact caps, perfect op-amps, no noise).
     static generator_params ideal();
+
+    /// Hash over every field that shapes the emitted waveform (caps,
+    /// op-amps, process, seed).  Two parameter sets with the
+    /// same fingerprint draw the same instance and emit the same
+    /// clock-normalized sequence, which is what lets a stimulus-record cache
+    /// key on it (see core::stimulus_cache).
+    std::uint64_t fingerprint() const noexcept;
 };
 
 class sinewave_generator {
 public:
     explicit sinewave_generator(const generator_params& params);
+
+    /// Seed of the child RNG stream that draws the process instance
+    /// (capacitor mismatch).  Distinct from noise_stream_seed by
+    /// construction, so mismatch draws and op-amp noise are uncorrelated.
+    static std::uint64_t process_stream_seed(std::uint64_t seed) noexcept;
+    /// Seed of the child RNG stream that drives the biquad's op-amp noise.
+    static std::uint64_t noise_stream_seed(std::uint64_t seed) noexcept;
 
     /// Program the amplitude: the differential DC level V_A+ - V_A-.
     /// Output amplitude is approximately 2 * va_diff (Fig. 8a).
@@ -55,14 +69,29 @@ public:
     /// Restart from zero state and phase.
     void reset();
 
+    /// The nominal (pre-draw) configuration of this instance.
+    const generator_params& params() const noexcept { return params_; }
     /// The drawn (mismatched) input array of this instance.
     const cap_array& array() const noexcept { return array_; }
     /// The drawn biquad capacitors of this instance.
     const sc::biquad_caps& drawn_caps() const noexcept { return drawn_caps_; }
-    /// Expected output amplitude for the current setting (ideal model).
+    /// Expected output amplitude of *this drawn instance* for the current
+    /// setting: the fundamental of the drawn input-array sequence through
+    /// the linear response of the drawn biquad capacitors.  For the
+    /// design-nominal prediction evaluate sc::biquad_response over the
+    /// nominal params().caps instead.
     double expected_amplitude() const;
 
 private:
+    /// One process draw: the biquad capacitors and the input array both
+    /// come from a single sampler pass over the process stream.
+    struct drawn_instance {
+        sc::biquad_caps caps;
+        cap_array array;
+    };
+    static drawn_instance draw_instance(const generator_params& params);
+    sinewave_generator(const generator_params& params, drawn_instance&& drawn);
+
     generator_params params_;
     sc::biquad_caps drawn_caps_;
     cap_array array_;

@@ -27,6 +27,24 @@ TEST(Rng, DifferentSeedsDiverge) {
     EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, DerivedStreamSeedsAreDistinctAndDeterministic) {
+    EXPECT_EQ(bistna::derive_stream_seed(1, 0), bistna::derive_stream_seed(1, 0));
+    EXPECT_NE(bistna::derive_stream_seed(1, 0), bistna::derive_stream_seed(1, 1));
+    EXPECT_NE(bistna::derive_stream_seed(1, 0), bistna::derive_stream_seed(2, 0));
+    // Tagged derivation must not collapse to the raw seed either.
+    EXPECT_NE(bistna::derive_stream_seed(1, 0), 1u);
+}
+
+TEST(Rng, DerivedStreamsDoNotOverlap) {
+    rng a(bistna::derive_stream_seed(42, 0));
+    rng b(bistna::derive_stream_seed(42, 1));
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += a.next_u64() == b.next_u64();
+    }
+    EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, UniformInUnitInterval) {
     rng generator(7);
     for (int i = 0; i < 10000; ++i) {

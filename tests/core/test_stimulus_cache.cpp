@@ -1,0 +1,290 @@
+// Stimulus-record cache: render-once semantics, key correctness
+// (amplitude / settle / design changes invalidate), bit-identity of cached
+// vs. uncached renders and sweeps, and thread safety of concurrent lookups.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/board.hpp"
+#include "core/stimulus_cache.hpp"
+#include "core/sweep.hpp"
+#include "core/sweep_engine.hpp"
+#include "dut/filters.hpp"
+
+namespace {
+
+using namespace bistna;
+using core::demonstrator_board;
+using core::signal_path;
+using core::stimulus_cache;
+using core::stimulus_key;
+
+demonstrator_board make_board(gen::generator_params params = gen::generator_params::ideal()) {
+    demonstrator_board board(params, dut::make_paper_dut(0.01, 7));
+    board.set_amplitude(millivolt(150.0));
+    return board;
+}
+
+stimulus_cache::record make_record(double value, std::size_t length = 4) {
+    return stimulus_cache::record(length, value);
+}
+
+TEST(StimulusCache, RendersOnceThenHits) {
+    stimulus_cache cache;
+    stimulus_key key{1, 2, 3, 4};
+    std::size_t renders = 0;
+    const auto render = [&] {
+        ++renders;
+        return make_record(1.5);
+    };
+    const auto first = cache.get_or_render(key, render);
+    const auto second = cache.get_or_render(key, render);
+    EXPECT_EQ(renders, 1u);
+    EXPECT_EQ(first.get(), second.get()); // literally the same record
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(StimulusCache, DistinctKeysRenderSeparately) {
+    stimulus_cache cache;
+    std::size_t renders = 0;
+    const auto render = [&] {
+        ++renders;
+        return make_record(static_cast<double>(renders));
+    };
+    (void)cache.get_or_render(stimulus_key{1, 0, 0, 0}, render);
+    (void)cache.get_or_render(stimulus_key{2, 0, 0, 0}, render);
+    EXPECT_EQ(renders, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(StimulusCache, EvictsOldestBeyondCapacity) {
+    stimulus_cache cache(2);
+    std::size_t renders = 0;
+    const auto render = [&] {
+        ++renders;
+        return make_record(0.0);
+    };
+    (void)cache.get_or_render(stimulus_key{1, 0, 0, 0}, render);
+    (void)cache.get_or_render(stimulus_key{2, 0, 0, 0}, render);
+    (void)cache.get_or_render(stimulus_key{3, 0, 0, 0}, render); // evicts key 1
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    (void)cache.get_or_render(stimulus_key{1, 0, 0, 0}, render); // re-render
+    EXPECT_EQ(renders, 4u);
+}
+
+TEST(StimulusCache, RenderFailureForgetsEntrySoRetrySucceeds) {
+    stimulus_cache cache;
+    stimulus_key key{9, 0, 0, 0};
+    EXPECT_THROW((void)cache.get_or_render(
+                     key, []() -> stimulus_cache::record {
+                         throw configuration_error("render exploded");
+                     }),
+                 configuration_error);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    const auto record = cache.get_or_render(key, [] { return make_record(2.0); });
+    EXPECT_EQ(record->front(), 2.0);
+}
+
+TEST(StimulusCache, ConcurrentSameKeyRendersExactlyOnce) {
+    stimulus_cache cache;
+    stimulus_key key{5, 0, 0, 0};
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        renders.fetch_add(1);
+        return make_record(3.25, 1024);
+    };
+    std::vector<std::thread> workers;
+    std::vector<stimulus_cache::record_ptr> results(8);
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        workers.emplace_back([&, t] { results[t] = cache.get_or_render(key, render); });
+    }
+    for (auto& worker : workers) {
+        worker.join();
+    }
+    EXPECT_EQ(renders.load(), 1);
+    for (const auto& result : results) {
+        ASSERT_NE(result, nullptr);
+        EXPECT_EQ(result.get(), results.front().get());
+    }
+}
+
+TEST(StimulusCache, BoardKeyChangesWithAmplitudeAndSettleAndPeriodsAndDesign) {
+    auto board = make_board();
+    const auto base = board.stimulus_cache_key(200, 32);
+    EXPECT_EQ(base, board.stimulus_cache_key(200, 32)); // stable
+
+    board.set_amplitude(millivolt(151.0));
+    EXPECT_NE(board.stimulus_cache_key(200, 32), base) << "amplitude must invalidate";
+    board.set_amplitude(millivolt(150.0));
+    EXPECT_EQ(board.stimulus_cache_key(200, 32), base);
+
+    EXPECT_NE(board.stimulus_cache_key(200, 33), base) << "settle must invalidate";
+    EXPECT_NE(board.stimulus_cache_key(201, 32), base) << "periods must invalidate";
+
+    auto params = gen::generator_params::ideal();
+    params.seed = 2; // a different die of the same design
+    auto other = demonstrator_board(params, dut::make_paper_dut(0.01, 7));
+    other.set_amplitude(millivolt(150.0));
+    // Ideal process draws nothing, but the fingerprint still covers the seed.
+    EXPECT_NE(other.stimulus_cache_key(200, 32), base) << "design seed must invalidate";
+}
+
+TEST(StimulusCache, CachedRenderBitIdenticalToUncached) {
+    const auto tb = sim::timebase::for_wave_frequency(kilohertz(2.0));
+    for (const bool ideal : {true, false}) {
+        auto params = ideal ? gen::generator_params::ideal() : gen::generator_params{};
+        auto uncached_board = make_board(params);
+        auto cached_board = make_board(params);
+        cached_board.set_stimulus_cache(std::make_shared<stimulus_cache>());
+
+        for (const auto path : {signal_path::calibration, signal_path::through_dut}) {
+            const auto expected = uncached_board.render(tb, 8, path, 4);
+            const auto first = cached_board.render(tb, 8, path, 4); // miss or reuse
+            const auto second = cached_board.render(tb, 8, path, 4); // guaranteed hit
+            ASSERT_EQ(expected.size(), first.size());
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                ASSERT_EQ(expected[i], first[i]) << "ideal=" << ideal << " sample " << i;
+                ASSERT_EQ(expected[i], second[i]) << "ideal=" << ideal << " sample " << i;
+            }
+        }
+        const auto stats = cached_board.shared_stimulus_cache()->stats();
+        EXPECT_EQ(stats.misses, 1u); // calibration + DUT paths share one staircase
+        EXPECT_EQ(stats.hits, 3u);
+    }
+}
+
+TEST(StimulusCache, RenderStagesComposeToRender) {
+    auto board = make_board(gen::generator_params{}); // full non-ideal defaults
+    const auto tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    const auto staircase = board.render_stimulus(8, 4);
+    ASSERT_EQ(staircase.size(), tb.samples_for_periods(12));
+    // The staircase holds each generator value for 6 f_eva samples.
+    for (std::size_t n = 0; n < staircase.size(); n += 6) {
+        for (std::size_t j = 1; j < 6 && n + j < staircase.size(); ++j) {
+            ASSERT_EQ(staircase[n], staircase[n + j]) << "hold broken at " << n + j;
+        }
+    }
+    for (const auto path : {signal_path::calibration, signal_path::through_dut}) {
+        const auto composed = board.render_from_stimulus(staircase, tb, 8, path, 4);
+        const auto direct = board.render(tb, 8, path, 4);
+        ASSERT_EQ(composed.size(), direct.size());
+        for (std::size_t i = 0; i < composed.size(); ++i) {
+            ASSERT_EQ(composed[i], direct[i]);
+        }
+    }
+}
+
+TEST(StimulusCache, RenderFromStimulusRejectsWrongLength) {
+    auto board = make_board();
+    const auto tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    const auto staircase = board.render_stimulus(8, 4);
+    EXPECT_THROW(
+        (void)board.render_from_stimulus(staircase, tb, 8, signal_path::calibration, 5),
+        precondition_error);
+}
+
+core::board_factory paper_factory() {
+    return [](std::uint64_t seed) {
+        demonstrator_board board(gen::generator_params::ideal(),
+                                 dut::make_paper_dut(0.01, seed));
+        board.set_amplitude(millivolt(150.0));
+        return board;
+    };
+}
+
+core::analyzer_settings fast_settings() {
+    core::analyzer_settings settings;
+    settings.evaluator.modulator = sd::modulator_params::ideal();
+    settings.evaluator.offset = eval::offset_mode::none;
+    settings.periods = 50;
+    settings.settle_periods = 16;
+    return settings;
+}
+
+void expect_bit_identical(const std::vector<core::frequency_point>& a,
+                          const std::vector<core::frequency_point>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].f_wave.value, b[i].f_wave.value) << "point " << i;
+        EXPECT_EQ(a[i].gain_db, b[i].gain_db) << "point " << i;
+        EXPECT_EQ(a[i].gain_db_bounds, b[i].gain_db_bounds) << "point " << i;
+        EXPECT_EQ(a[i].phase_deg, b[i].phase_deg) << "point " << i;
+        EXPECT_EQ(a[i].phase_deg_bounds, b[i].phase_deg_bounds) << "point " << i;
+    }
+}
+
+TEST(StimulusCache, SweepBitIdenticalWithAndWithoutCache) {
+    const auto frequencies = core::log_spaced(hertz{200.0}, kilohertz(4.0), 6);
+
+    core::sweep_engine_options cached_options;
+    cached_options.threads = 2;
+    core::sweep_engine cached(paper_factory(), fast_settings(), cached_options);
+
+    core::sweep_engine_options uncached_options;
+    uncached_options.threads = 2;
+    uncached_options.share_stimulus = false;
+    core::sweep_engine uncached(paper_factory(), fast_settings(), uncached_options);
+
+    const auto with_cache = cached.run(frequencies);
+    const auto without_cache = uncached.run(frequencies);
+    expect_bit_identical(with_cache.points, without_cache.points);
+
+    // One staircase serves the shared calibration and every point.
+    const auto stats = cached.stimulus_stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, frequencies.size());
+    EXPECT_EQ(uncached.stimulus_stats().misses, 0u);
+}
+
+TEST(StimulusCache, CachedSweepBitIdenticalAcrossThreadCounts) {
+    const auto frequencies = core::log_spaced(hertz{200.0}, kilohertz(4.0), 6);
+    std::vector<core::sweep_report> reports;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        core::sweep_engine_options options;
+        options.threads = threads;
+        core::sweep_engine engine(paper_factory(), fast_settings(), options);
+        reports.push_back(engine.run(frequencies));
+    }
+    expect_bit_identical(reports[0].points, reports[1].points);
+}
+
+TEST(StimulusCache, ScreenLotUnchangedByCache) {
+    const auto mask = core::spec_mask::paper_lowpass();
+    const std::size_t dice = 4;
+
+    core::sweep_engine_options cached_options;
+    cached_options.threads = 2;
+    core::sweep_engine cached(paper_factory(), fast_settings(), cached_options);
+
+    core::sweep_engine_options uncached_options;
+    uncached_options.threads = 2;
+    uncached_options.share_stimulus = false;
+    core::sweep_engine uncached(paper_factory(), fast_settings(), uncached_options);
+
+    const auto with_cache = cached.screen_batch(mask, dice, /*first_seed=*/3);
+    const auto without_cache = uncached.screen_batch(mask, dice, /*first_seed=*/3);
+    ASSERT_EQ(with_cache.size(), without_cache.size());
+    for (std::size_t die = 0; die < dice; ++die) {
+        EXPECT_EQ(with_cache[die].passed, without_cache[die].passed);
+        EXPECT_EQ(with_cache[die].stimulus_volts, without_cache[die].stimulus_volts);
+        ASSERT_EQ(with_cache[die].limits.size(), without_cache[die].limits.size());
+        for (std::size_t i = 0; i < with_cache[die].limits.size(); ++i) {
+            EXPECT_EQ(with_cache[die].limits[i].measured_db,
+                      without_cache[die].limits[i].measured_db);
+        }
+    }
+    // All dice share the same generator design here, so the whole lot needs
+    // exactly one staircase render.
+    EXPECT_EQ(cached.stimulus_stats().misses, 1u);
+    EXPECT_GT(cached.stimulus_stats().hits, 0u);
+}
+
+} // namespace

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dut/dut.hpp"
 #include "dut/filters.hpp"
 #include "dut/state_space.hpp"
 
@@ -15,6 +19,16 @@ namespace {
 using namespace bistna;
 using dut::state_space;
 using dut::transfer_function;
+
+std::vector<double> noisy_sine(std::size_t count, std::uint64_t seed) {
+    rng noise(seed);
+    std::vector<double> samples(count);
+    for (std::size_t n = 0; n < count; ++n) {
+        samples[n] =
+            std::sin(two_pi * static_cast<double>(n) / 96.0) + 0.01 * noise.gaussian();
+    }
+    return samples;
+}
 
 TEST(StateSpace, FirstOrderStepResponseIsExactExponential) {
     // H(s) = 1/(1 + s/w0): step response 1 - e^{-w0 t}.
@@ -95,6 +109,78 @@ TEST(StateSpace, CanonicalFormHasExpectedOrder) {
     const auto tf = dut::butterworth_lowpass2(1000.0);
     const auto ss = state_space::from_transfer_function(tf);
     EXPECT_EQ(ss.order(), 2u);
+}
+
+TEST(StateSpace, StepBlockBitIdenticalToScalarStepOrderTwo) {
+    // The order-2 fast path of step_block claims bit-identity with the
+    // scalar step() loop; guard it sample for sample, including the state
+    // carry-over across a split into two block calls.
+    const auto tf = dut::butterworth_lowpass2(1000.0);
+    auto scalar = state_space::from_transfer_function(tf);
+    auto block = state_space::from_transfer_function(tf);
+    auto split = state_space::from_transfer_function(tf);
+    scalar.prepare(96000.0);
+    block.prepare(96000.0);
+    split.prepare(96000.0);
+
+    const auto input = noisy_sine(1000, 11);
+    std::vector<double> expected(input.size());
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        expected[n] = scalar.step(input[n]);
+    }
+    std::vector<double> from_block(input.size());
+    block.step_block(input, from_block);
+    std::vector<double> from_split(input.size());
+    const std::span<const double> in(input);
+    const std::span<double> out(from_split);
+    split.step_block(in.first(333), out.first(333));
+    split.step_block(in.subspan(333), out.subspan(333));
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        ASSERT_EQ(from_block[n], expected[n]) << "block diverged at " << n;
+        ASSERT_EQ(from_split[n], expected[n]) << "split block diverged at " << n;
+    }
+}
+
+TEST(StateSpace, StepBlockBitIdenticalToScalarStepHigherOrder) {
+    // (1 + s/w)^3: exercises the generic (non order-2) block path.
+    const double w = two_pi * 1000.0;
+    transfer_function tf({1.0}, {1.0, 3.0 / w, 3.0 / (w * w), 1.0 / (w * w * w)});
+    auto scalar = state_space::from_transfer_function(tf);
+    auto block = state_space::from_transfer_function(tf);
+    ASSERT_EQ(scalar.order(), 3u);
+    scalar.prepare(96000.0);
+    block.prepare(96000.0);
+
+    const auto input = noisy_sine(500, 23);
+    std::vector<double> from_block(input.size());
+    block.step_block(input, from_block);
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        ASSERT_EQ(from_block[n], scalar.step(input[n])) << "diverged at " << n;
+    }
+}
+
+TEST(StateSpace, StepBlockRejectsLengthMismatch) {
+    auto ss = state_space::from_transfer_function(dut::butterworth_lowpass2(1000.0));
+    ss.prepare(96000.0);
+    std::vector<double> input(8, 0.0);
+    std::vector<double> output(7, 0.0);
+    EXPECT_THROW(ss.step_block(input, output), precondition_error);
+}
+
+TEST(StateSpace, LinearDutProcessBlockMatchesProcessLoop) {
+    // The virtual process_block override must stay semantically identical
+    // to per-sample process() (dut.hpp's documented contract).
+    dut::linear_dut by_sample(dut::butterworth_lowpass2(1000.0), "scalar");
+    dut::linear_dut by_block(dut::butterworth_lowpass2(1000.0), "block");
+    by_sample.prepare(96000.0);
+    by_block.prepare(96000.0);
+
+    const auto input = noisy_sine(600, 37);
+    std::vector<double> from_block(input.size());
+    by_block.process_block(input, from_block);
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        ASSERT_EQ(from_block[n], by_sample.process(input[n])) << "diverged at " << n;
+    }
 }
 
 } // namespace

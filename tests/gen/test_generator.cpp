@@ -3,6 +3,7 @@
 // odd-harmonic floor, reproducibility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_util.hpp"
@@ -123,6 +124,75 @@ TEST(Generator, ExpectedAmplitudeMatchesMeasured) {
     const auto wave = settled_waveform(g, 32);
     const double measured = dsp::estimate_tone(wave, 1.0 / 16.0, 1.0).amplitude;
     EXPECT_NEAR(g.expected_amplitude(), measured, 0.03 * measured);
+}
+
+TEST(Generator, DrawnInstanceComesFromOneSamplerPass) {
+    // Regression for the constructor drawing the process instance twice:
+    // replaying a *single* sampler pass (biquad caps a,b,c,d,f, then the
+    // input array) must reproduce both drawn_caps() and array() exactly.
+    generator_params params;
+    params.process.cap_mismatch_sigma = 0.01;
+    params.seed = 1234;
+    sinewave_generator g(params);
+
+    sim::process_sampler replay(params.process,
+                                rng(sinewave_generator::process_stream_seed(params.seed)));
+    sc::biquad_caps expected = params.caps;
+    expected.a = replay.matched_capacitor(expected.a);
+    expected.b = replay.matched_capacitor(expected.b);
+    expected.c = replay.matched_capacitor(expected.c);
+    expected.d = replay.matched_capacitor(expected.d);
+    expected.f = replay.matched_capacitor(expected.f);
+    const gen::cap_array expected_array(replay);
+
+    EXPECT_EQ(g.drawn_caps().a, expected.a);
+    EXPECT_EQ(g.drawn_caps().b, expected.b);
+    EXPECT_EQ(g.drawn_caps().c, expected.c);
+    EXPECT_EQ(g.drawn_caps().d, expected.d);
+    EXPECT_EQ(g.drawn_caps().f, expected.f);
+    for (std::size_t k = 0; k < gen::level_count; ++k) {
+        EXPECT_EQ(g.array().level(k), expected_array.level(k)) << "level " << k;
+    }
+}
+
+TEST(Generator, ProcessAndNoiseStreamsAreIndependent) {
+    // Regression for the op-amp noise RNG being seeded with the same child
+    // stream as the process draw (perfectly correlated mismatch and noise).
+    const std::uint64_t seed = 2024;
+    ASSERT_NE(sinewave_generator::process_stream_seed(seed),
+              sinewave_generator::noise_stream_seed(seed));
+    rng process_stream(sinewave_generator::process_stream_seed(seed));
+    rng noise_stream(sinewave_generator::noise_stream_seed(seed));
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += process_stream.next_u64() == noise_stream.next_u64();
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Generator, ExpectedAmplitudeTracksHeavilyMismatchedDraw) {
+    // A linear (ideal op-amp) instance with exaggerated 5 % capacitor
+    // mismatch: the prediction from the *drawn* caps and array must track
+    // the measured fundamental closely, while the design-nominal prediction
+    // visibly misses for at least one draw.
+    double worst_nominal_error = 0.0;
+    for (std::uint64_t seed : {3u, 11u, 29u, 55u}) {
+        auto params = generator_params::ideal();
+        params.process.cap_mismatch_sigma = 0.05;
+        params.seed = seed;
+        sinewave_generator g(params);
+        g.set_amplitude(millivolt(200.0));
+        const auto wave = settled_waveform(g, 64);
+        const double measured = dsp::estimate_tone(wave, 1.0 / 16.0, 1.0).amplitude;
+
+        EXPECT_NEAR(g.expected_amplitude(), measured, 2e-3 * measured) << "seed " << seed;
+
+        const double nominal =
+            std::abs(sc::biquad_response(params.caps, 1.0 / 16.0)) * 0.2;
+        worst_nominal_error =
+            std::max(worst_nominal_error, std::abs(nominal - measured) / measured);
+    }
+    EXPECT_GT(worst_nominal_error, 5e-3);
 }
 
 } // namespace
