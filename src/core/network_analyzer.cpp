@@ -63,39 +63,16 @@ hold_systematics hold_effect(std::size_t harmonic_k) {
 
 } // namespace
 
-network_analyzer::network_analyzer(demonstrator_board& board, analyzer_settings settings)
-    : board_(board), settings_(settings), evaluator_(settings.evaluator) {}
-
-stimulus_calibration network_analyzer::measure_stimulus(const sim::timebase& tb) {
-    auto record = board_.render(tb, settings_.periods, signal_path::calibration,
-                                settings_.settle_periods);
-    const auto source = demonstrator_board::as_source(std::move(record));
-    const auto harmonic = evaluator_.measure_harmonic(source, 1, settings_.periods);
+stimulus_calibration make_stimulus_calibration(const eval::harmonic_measurement& harmonic) {
     BISTNA_EXPECTS(harmonic.phase.has_value(),
                    "stimulus phase undetermined: amplitude too small for M periods");
     return stimulus_calibration{harmonic.amplitude, *harmonic.phase};
 }
 
-const stimulus_calibration& network_analyzer::calibrate() {
-    if (!calibration_) {
-        // Clock-normalized system: any master clock yields the same DT
-        // stimulus, so calibrate at a convenient one.
-        const auto tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
-        calibration_ = measure_stimulus(tb);
-    }
-    return *calibration_;
-}
-
-frequency_point network_analyzer::measure_point(hertz f_wave) {
-    const auto tb = sim::timebase::for_wave_frequency(f_wave);
-    const stimulus_calibration input =
-        settings_.recalibrate_per_point ? measure_stimulus(tb) : calibrate();
-
-    auto record = board_.render(tb, settings_.periods, signal_path::through_dut,
-                                settings_.settle_periods);
-    const auto source = demonstrator_board::as_source(std::move(record));
-    const auto output = evaluator_.measure_harmonic(source, 1, settings_.periods);
-
+frequency_point assemble_frequency_point(hertz f_wave, const stimulus_calibration& input,
+                                         const eval::harmonic_measurement& output,
+                                         bool hold_compensation,
+                                         const dut::device_under_test& dut) {
     // Deep in the stopband the eq. (5) box may reach the origin; report the
     // point estimate with an honest full-circle interval (the huge error
     // bands of the paper's Fig. 10b beyond the DUT's resolvable range).
@@ -124,7 +101,7 @@ frequency_point network_analyzer::measure_point(hertz f_wave) {
 
     double gain_correction = 1.0;
     double phase_correction = 0.0;
-    if (settings_.hold_compensation) {
+    if (hold_compensation) {
         const auto hold = hold_effect(1);
         gain_correction = 1.0 / hold.gain;
         phase_correction = -hold.phase_rad;
@@ -148,7 +125,7 @@ frequency_point network_analyzer::measure_point(hertz f_wave) {
                                       rad_to_deg(phase_bounds.hi() + shift));
 
     // Ground truth from the drawn DUT instance.
-    const auto ideal = board_.dut().ideal_response(f_wave.value);
+    const auto ideal = dut.ideal_response(f_wave.value);
     point.ideal_gain_db = amplitude_ratio_to_db(std::abs(ideal));
     double ideal_phase = std::arg(ideal);
     if (ideal_phase > 0.5) {
@@ -156,6 +133,39 @@ frequency_point network_analyzer::measure_point(hertz f_wave) {
     }
     point.ideal_phase_deg = rad_to_deg(ideal_phase);
     return point;
+}
+
+network_analyzer::network_analyzer(demonstrator_board& board, analyzer_settings settings)
+    : board_(board), settings_(settings), evaluator_(settings.evaluator) {}
+
+stimulus_calibration network_analyzer::measure_stimulus(const sim::timebase& tb) {
+    auto record = board_.render(tb, settings_.periods, signal_path::calibration,
+                                settings_.settle_periods);
+    const auto source = demonstrator_board::as_source(std::move(record));
+    return make_stimulus_calibration(evaluator_.measure_harmonic(source, 1, settings_.periods));
+}
+
+const stimulus_calibration& network_analyzer::calibrate() {
+    if (!calibration_) {
+        // Clock-normalized system: any master clock yields the same DT
+        // stimulus, so calibrate at a convenient one.
+        const auto tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+        calibration_ = measure_stimulus(tb);
+    }
+    return *calibration_;
+}
+
+frequency_point network_analyzer::measure_point(hertz f_wave) {
+    const auto tb = sim::timebase::for_wave_frequency(f_wave);
+    const stimulus_calibration input =
+        settings_.recalibrate_per_point ? measure_stimulus(tb) : calibrate();
+
+    auto record = board_.render(tb, settings_.periods, signal_path::through_dut,
+                                settings_.settle_periods);
+    const auto source = demonstrator_board::as_source(std::move(record));
+    const auto output = evaluator_.measure_harmonic(source, 1, settings_.periods);
+    return assemble_frequency_point(f_wave, input, output, settings_.hold_compensation,
+                                    board_.dut());
 }
 
 std::vector<frequency_point> network_analyzer::bode_sweep(

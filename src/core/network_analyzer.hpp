@@ -54,6 +54,22 @@ struct frequency_point {
     double ideal_phase_deg = 0.0;
 };
 
+/// Wrap a calibration-path harmonic measurement as a stimulus calibration
+/// (throws when the stimulus phase is undetermined: amplitude too small
+/// for M periods).  Shared by the scalar analyzer and the batched paths.
+stimulus_calibration make_stimulus_calibration(const eval::harmonic_measurement& harmonic);
+
+/// Assemble one Bode point from its two harmonic measurements -- the
+/// stimulus calibration and the DUT-path output.  This is the pure
+/// arithmetic tail of network_analyzer::measure_point (interval gain
+/// quotient, phase difference/unwrap, hold de-embedding, drawn-instance
+/// ground truth), factored out so the batched sweep/screening pipeline
+/// produces bit-identical points from lockstep acquisitions.
+frequency_point assemble_frequency_point(hertz f_wave, const stimulus_calibration& input,
+                                         const eval::harmonic_measurement& output,
+                                         bool hold_compensation,
+                                         const dut::device_under_test& dut);
+
 /// Harmonic-distortion readout (Fig. 10c).
 struct distortion_result {
     hertz f_wave{0.0};

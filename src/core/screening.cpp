@@ -18,6 +18,21 @@ spec_mask spec_mask::paper_lowpass() {
     return mask;
 }
 
+bool stimulus_self_test(const spec_mask& mask, double stimulus_volts) {
+    return std::abs(stimulus_volts - mask.stimulus_volts_nominal) <=
+           mask.stimulus_tolerance * mask.stimulus_volts_nominal;
+}
+
+limit_result evaluate_limit(const gain_limit& limit, const frequency_point& point) {
+    limit_result result;
+    result.limit = limit;
+    result.measured_db = point.gain_db;
+    result.measured_bounds_db = point.gain_db_bounds;
+    result.passed = point.gain_db_bounds.lo() >= limit.gain_db_min &&
+                    point.gain_db_bounds.hi() <= limit.gain_db_max;
+    return result;
+}
+
 screening_report screen(network_analyzer& analyzer, const spec_mask& mask) {
     BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
     screening_report report;
@@ -25,9 +40,7 @@ screening_report screen(network_analyzer& analyzer, const spec_mask& mask) {
     // Self-test: the calibration path must read the programmed stimulus.
     const auto& calibration = analyzer.calibrate();
     report.stimulus_volts = calibration.amplitude.volts;
-    report.self_test_passed =
-        std::abs(calibration.amplitude.volts - mask.stimulus_volts_nominal) <=
-        mask.stimulus_tolerance * mask.stimulus_volts_nominal;
+    report.self_test_passed = stimulus_self_test(mask, calibration.amplitude.volts);
     if (!report.self_test_passed) {
         report.passed = false;
         return report; // BIST circuitry itself is broken; don't trust the DUT data
@@ -35,15 +48,7 @@ screening_report screen(network_analyzer& analyzer, const spec_mask& mask) {
 
     report.passed = true;
     for (const auto& limit : mask.limits) {
-        const auto point = analyzer.measure_point(hertz{limit.f_hz});
-        limit_result result;
-        result.limit = limit;
-        result.measured_db = point.gain_db;
-        result.measured_bounds_db = point.gain_db_bounds;
-        // Conservative: the whole guaranteed interval must sit in the mask,
-        // so measurement uncertainty can never produce a false pass.
-        result.passed = point.gain_db_bounds.lo() >= limit.gain_db_min &&
-                        point.gain_db_bounds.hi() <= limit.gain_db_max;
+        const auto result = evaluate_limit(limit, analyzer.measure_point(hertz{limit.f_hz}));
         report.passed = report.passed && result.passed;
         report.limits.push_back(result);
     }
@@ -89,9 +94,10 @@ lot_result screen_lot(const board_factory& factory, const analyzer_settings& set
 lot_result screen_lot_parallel(const board_factory& factory,
                                const analyzer_settings& settings, const spec_mask& mask,
                                std::size_t dice, std::uint64_t first_seed,
-                               std::size_t threads) {
+                               std::size_t threads, std::size_t batch_lanes) {
     sweep_engine_options options;
     options.threads = threads;
+    options.batch_lanes = batch_lanes;
     sweep_engine engine(factory, settings, options);
     return engine.screen_lot(mask, dice, first_seed);
 }

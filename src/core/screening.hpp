@@ -51,6 +51,15 @@ struct screening_report {
     bool passed = false;
 };
 
+/// Self-test verdict on a measured stimulus amplitude (shared by the
+/// scalar and batched screening paths).
+bool stimulus_self_test(const spec_mask& mask, double stimulus_volts);
+
+/// Pass/fail of one mask limit against a measured Bode point: conservative
+/// interval containment, so measurement uncertainty can never produce a
+/// false pass.  Shared by the scalar and batched paths.
+limit_result evaluate_limit(const gain_limit& limit, const frequency_point& point);
+
 /// Screen one board (self-test + all mask limits, conservative intervals).
 screening_report screen(network_analyzer& analyzer, const spec_mask& mask);
 
@@ -79,9 +88,12 @@ lot_result screen_lot(const board_factory& factory, const analyzer_settings& set
 /// Parallel screen_lot via the sweep engine's thread pool: bit-identical to
 /// the sequential version at any thread count (each die is an independent
 /// seeded draw).  threads = 0 uses hardware concurrency, 1 runs serially.
+/// batch_lanes > 1 additionally groups that many dice per work item and
+/// evaluates them in lockstep through the SoA modulator bank -- still
+/// bit-identical to the scalar path at any lane count.
 lot_result screen_lot_parallel(const board_factory& factory,
                                const analyzer_settings& settings, const spec_mask& mask,
                                std::size_t dice, std::uint64_t first_seed = 1,
-                               std::size_t threads = 0);
+                               std::size_t threads = 0, std::size_t batch_lanes = 1);
 
 } // namespace bistna::core

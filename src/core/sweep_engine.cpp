@@ -1,15 +1,18 @@
 #include "core/sweep_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "eval/batch_evaluator.hpp"
 
 namespace bistna::core {
 
@@ -80,7 +83,13 @@ sweep_engine::sweep_engine(board_factory factory, analyzer_settings settings,
     : factory_(std::move(factory)), settings_(settings), options_(options) {
     BISTNA_EXPECTS(factory_ != nullptr, "sweep engine requires a board factory");
     if (options_.share_stimulus) {
-        stimulus_cache_ = std::make_shared<stimulus_cache>(options_.stimulus_cache_entries);
+        // A screening batch holds threads x batch_lanes dice in flight at
+        // once; keep the FIFO large enough that no group's records are
+        // evicted mid-screen.
+        const std::size_t in_flight =
+            resolved_threads() * std::max<std::size_t>(1, options_.batch_lanes);
+        stimulus_cache_ = std::make_shared<stimulus_cache>(
+            std::max(options_.stimulus_cache_entries, in_flight));
     }
 }
 
@@ -128,16 +137,50 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
     report.points.resize(frequencies.size());
     report.threads_used = threads;
 
-    run_batch(frequencies.size(), threads, [&](std::size_t i) {
-        demonstrator_board board = make_board(board_seed);
-        analyzer_settings point_settings = settings_;
-        point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, i + 1);
-        network_analyzer analyzer(board, point_settings);
-        if (shared_calibration) {
-            analyzer.set_calibration(*shared_calibration);
-        }
-        report.points[i] = analyzer.measure_point(frequencies[i]);
-    });
+    const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
+    if (lanes > 1 && shared_calibration) {
+        // Lockstep lanes: a group of points renders its records (scalar,
+        // cache-shared) and acquires them through one SoA modulator bank.
+        // Per-point seeds and arithmetic match the scalar path exactly.
+        const std::size_t groups = (frequencies.size() + lanes - 1) / lanes;
+        run_batch(groups, threads, [&](std::size_t g) {
+            const std::size_t first = g * lanes;
+            const std::size_t count = std::min(lanes, frequencies.size() - first);
+
+            std::vector<demonstrator_board> boards;
+            boards.reserve(count);
+            std::vector<eval::evaluator_config> configs(count, settings_.evaluator);
+            std::vector<std::vector<double>> records(count);
+            std::vector<std::span<const double>> spans(count);
+            for (std::size_t l = 0; l < count; ++l) {
+                boards.push_back(make_board(board_seed));
+                configs[l].seed = sweep_item_seed(options_.base_seed, first + l + 1);
+                const auto tb = sim::timebase::for_wave_frequency(frequencies[first + l]);
+                records[l] = boards[l].render(tb, settings_.periods,
+                                              signal_path::through_dut,
+                                              settings_.settle_periods);
+                spans[l] = records[l];
+            }
+            eval::batch_evaluator evaluators(std::move(configs));
+            const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
+            for (std::size_t l = 0; l < count; ++l) {
+                report.points[first + l] = assemble_frequency_point(
+                    frequencies[first + l], *shared_calibration, outputs[l],
+                    settings_.hold_compensation, boards[l].dut());
+            }
+        });
+    } else {
+        run_batch(frequencies.size(), threads, [&](std::size_t i) {
+            demonstrator_board board = make_board(board_seed);
+            analyzer_settings point_settings = settings_;
+            point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, i + 1);
+            network_analyzer analyzer(board, point_settings);
+            if (shared_calibration) {
+                analyzer.set_calibration(*shared_calibration);
+            }
+            report.points[i] = analyzer.measure_point(frequencies[i]);
+        });
+    }
 
     report.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -166,6 +209,18 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
     BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
 
     std::vector<screening_report> reports(dice);
+    const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
+    if (lanes > 1) {
+        // Lockstep lanes: each work item screens a contiguous group of dice
+        // through one SoA modulator bank (threads x lanes dice in flight).
+        const std::size_t groups = (dice + lanes - 1) / lanes;
+        run_batch(groups, resolved_threads(), [&](std::size_t g) {
+            const std::size_t first = g * lanes;
+            screen_group(mask, first_seed + first, std::min(lanes, dice - first),
+                         &reports[first]);
+        });
+        return reports;
+    }
     run_batch(dice, resolved_threads(), [&](std::size_t die) {
         // Same per-die construction as the sequential core::screen_lot: the
         // die's identity comes solely from its factory seed, so the batch is
@@ -177,6 +232,81 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
         reports[die] = screen(analyzer, mask);
     });
     return reports;
+}
+
+void sweep_engine::screen_group(const spec_mask& mask, std::uint64_t first_seed,
+                                std::size_t count, screening_report* reports) {
+    BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
+    BISTNA_EXPECTS(count > 0, "lane group must contain at least one die");
+
+    std::vector<demonstrator_board> boards;
+    boards.reserve(count);
+    for (std::size_t l = 0; l < count; ++l) {
+        boards.push_back(make_board(first_seed + l));
+    }
+    eval::batch_evaluator evaluators(
+        std::vector<eval::evaluator_config>(count, settings_.evaluator));
+
+    // Stage 1 -- per-lane stimulus self-test through the calibration path
+    // (the scalar analyzer's calibrate(): one render at a convenient master
+    // clock, one lockstep fundamental acquisition across all lanes).
+    const auto cal_tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    std::vector<stimulus_calibration> inputs(count);
+    std::vector<std::size_t> active;
+    active.reserve(count);
+    {
+        std::vector<std::vector<double>> records(count);
+        std::vector<std::span<const double>> spans(count);
+        for (std::size_t l = 0; l < count; ++l) {
+            records[l] = boards[l].render(cal_tb, settings_.periods,
+                                          signal_path::calibration,
+                                          settings_.settle_periods);
+            spans[l] = records[l];
+        }
+        const auto measured = evaluators.measure_harmonic(spans, 1, settings_.periods);
+        for (std::size_t l = 0; l < count; ++l) {
+            inputs[l] = make_stimulus_calibration(measured[l]);
+            screening_report& report = reports[l];
+            report.stimulus_volts = inputs[l].amplitude.volts;
+            report.self_test_passed = stimulus_self_test(mask, report.stimulus_volts);
+            // Broken BIST circuitry gates out the die's DUT data; the lane
+            // is dropped from every later acquisition (it consumes no more
+            // of its RNG stream, matching the scalar early return).
+            report.passed = report.self_test_passed;
+            if (report.self_test_passed) {
+                active.push_back(l);
+            }
+        }
+    }
+    if (active.empty()) {
+        return;
+    }
+
+    // Stage 2 -- every mask limit over the lanes that passed self-test:
+    // scalar renders (cache-shared staircase, per-lane DUT filtering), one
+    // lockstep acquisition per limit.
+    for (const auto& limit : mask.limits) {
+        const auto tb = sim::timebase::for_wave_frequency(hertz{limit.f_hz});
+        std::vector<std::vector<double>> records(active.size());
+        std::vector<std::span<const double>> spans(active.size());
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            records[i] = boards[active[i]].render(tb, settings_.periods,
+                                                  signal_path::through_dut,
+                                                  settings_.settle_periods);
+            spans[i] = records[i];
+        }
+        const auto outputs =
+            evaluators.measure_harmonic_lanes(active, spans, 1, settings_.periods);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            const std::size_t l = active[i];
+            const auto point =
+                assemble_frequency_point(hertz{limit.f_hz}, inputs[l], outputs[i],
+                                         settings_.hold_compensation, boards[l].dut());
+            const auto result = evaluate_limit(limit, point);
+            reports[l].passed = reports[l].passed && result.passed;
+            reports[l].limits.push_back(result);
+        }
+    }
 }
 
 lot_result sweep_engine::screen_lot(const spec_mask& mask, std::size_t dice,

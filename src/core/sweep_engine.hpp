@@ -47,8 +47,16 @@ struct sweep_engine_options {
     bool share_stimulus = true;
     /// Capacity of the shared stimulus cache (records, oldest evicted
     /// first).  A Bode batch needs 1; a screening batch needs one per die
-    /// concurrently in flight.
+    /// concurrently in flight -- threads x batch_lanes of them -- so the
+    /// engine grows this floor to that product when it is larger.
     std::size_t stimulus_cache_entries = 64;
+    /// Dice (or Bode points) evaluated in lockstep per work item through
+    /// the SoA modulator bank (threads x lanes in flight overall).  1 runs
+    /// the scalar reference path; any lane count is bit-identical to it,
+    /// because lanes own independent seeded streams and never interact.
+    /// For Bode batches the lanes apply only with a shared calibration
+    /// (recalibrate_per_point falls back to the scalar path).
+    std::size_t batch_lanes = 1;
 };
 
 /// Aggregated outcome of a parallel Bode batch.
@@ -102,6 +110,14 @@ public:
 private:
     /// Build the work item's board and attach the shared cache to it.
     demonstrator_board make_board(std::uint64_t seed) const;
+
+    /// Batched-lane screening of dice [first_seed, first_seed + count):
+    /// one board per lane, one lockstep batch evaluator, reports written to
+    /// reports[0..count).  Bit-identical per die to core::screen on a
+    /// scalar analyzer (lanes failing the self-test are dropped from later
+    /// acquisitions, exactly like the scalar early return).
+    void screen_group(const spec_mask& mask, std::uint64_t first_seed, std::size_t count,
+                      screening_report* reports);
 
     board_factory factory_;
     analyzer_settings settings_;

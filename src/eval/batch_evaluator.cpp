@@ -1,0 +1,140 @@
+#include "eval/batch_evaluator.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bistna::eval {
+
+batch_evaluator::batch_evaluator(std::vector<evaluator_config> configs)
+    : configs_(std::move(configs)) {
+    BISTNA_EXPECTS(!configs_.empty(), "batch evaluator needs at least one lane");
+    const evaluator_config& front = configs_.front();
+    for (const evaluator_config& config : configs_) {
+        BISTNA_EXPECTS(config.n_per_period == front.n_per_period &&
+                           config.offset == front.offset &&
+                           config.calibration_periods == front.calibration_periods,
+                       "batch lanes must share n_per_period, offset mode and "
+                       "calibration_periods (seeds and modulators may differ)");
+    }
+    extractors_.reserve(configs_.size());
+    for (const evaluator_config& config : configs_) {
+        extractors_.emplace_back(config.modulator, config.seed);
+    }
+    all_lanes_.resize(configs_.size());
+    std::iota(all_lanes_.begin(), all_lanes_.end(), std::size_t{0});
+}
+
+signature_extractor& batch_evaluator::extractor(std::size_t lane) {
+    BISTNA_EXPECTS(lane < lanes(), "lane index out of range");
+    return extractors_[lane];
+}
+
+const evaluator_config& batch_evaluator::config(std::size_t lane) const {
+    BISTNA_EXPECTS(lane < lanes(), "lane index out of range");
+    return configs_[lane];
+}
+
+acquisition_settings batch_evaluator::settings_for(std::size_t k,
+                                                   std::size_t periods) const {
+    acquisition_settings settings;
+    settings.harmonic_k = k;
+    settings.periods = periods;
+    settings.n_per_period = configs_.front().n_per_period;
+    settings.offset = configs_.front().offset;
+    return settings;
+}
+
+void batch_evaluator::calibrate() { ensure_calibrated(all_lanes_); }
+
+void batch_evaluator::ensure_calibrated(std::span<const std::size_t> lane_ids) {
+    if (configs_.front().offset != offset_mode::calibrated) {
+        return;
+    }
+    std::vector<signature_extractor*> pending;
+    for (std::size_t lane : lane_ids) {
+        BISTNA_EXPECTS(lane < lanes(), "lane index out of range");
+        if (!extractors_[lane].offset_calibrated()) {
+            pending.push_back(&extractors_[lane]);
+        }
+    }
+    if (!pending.empty()) {
+        signature_extractor::calibrate_offset_batch(
+            pending, configs_.front().calibration_periods, configs_.front().n_per_period);
+    }
+}
+
+std::vector<dc_measurement> batch_evaluator::measure_dc(
+    std::span<const std::span<const double>> records, std::size_t periods) {
+    BISTNA_EXPECTS(records.size() == lanes(), "need exactly one record per lane");
+    ensure_calibrated(all_lanes_);
+    std::vector<signature_extractor*> lane_ptrs;
+    lane_ptrs.reserve(lanes());
+    for (signature_extractor& extractor : extractors_) {
+        lane_ptrs.push_back(&extractor);
+    }
+    const auto sigs =
+        signature_extractor::acquire_batch(lane_ptrs, records, settings_for(0, periods));
+    std::vector<dc_measurement> out;
+    out.reserve(sigs.size());
+    for (const signature_result& sig : sigs) {
+        out.push_back(estimate_dc(sig));
+    }
+    return out;
+}
+
+std::vector<harmonic_measurement> batch_evaluator::measure_harmonic(
+    std::span<const std::span<const double>> records, std::size_t k, std::size_t periods) {
+    return measure_harmonic_lanes(all_lanes_, records, k, periods);
+}
+
+std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes(
+    std::span<const std::size_t> lane_ids, std::span<const std::span<const double>> records,
+    std::size_t k, std::size_t periods) {
+    BISTNA_EXPECTS(lane_ids.size() == records.size(),
+                   "need exactly one record per requested lane");
+    ensure_calibrated(lane_ids);
+
+    std::vector<signature_extractor*> lanes;
+    lanes.reserve(lane_ids.size());
+    for (std::size_t lane : lane_ids) {
+        BISTNA_EXPECTS(lane < this->lanes(), "lane index out of range");
+        lanes.push_back(&extractors_[lane]);
+    }
+    const auto sigs = signature_extractor::acquire_batch(lanes, records,
+                                                         settings_for(k, periods));
+
+    std::vector<harmonic_measurement> out;
+    out.reserve(sigs.size());
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+        out.push_back(estimate_harmonic(sigs[i], configs_[lane_ids[i]].constants));
+    }
+    return out;
+}
+
+std::vector<thd_measurement> batch_evaluator::measure_thd(
+    std::span<const std::span<const double>> records, std::size_t max_harmonic,
+    std::size_t periods) {
+    BISTNA_EXPECTS(max_harmonic >= 2, "THD needs at least harmonics 1..2");
+    BISTNA_EXPECTS(records.size() == lanes(), "need exactly one record per lane");
+
+    std::vector<std::vector<amplitude_measurement>> per_lane(lanes());
+    for (std::size_t k = 1; k <= max_harmonic; ++k) {
+        if (!demod_reference::alignment_ok(k, configs_.front().n_per_period)) {
+            continue; // documented: harmonics violating N mod 4k == 0 are skipped
+        }
+        const auto harmonics = measure_harmonic(records, k, periods);
+        for (std::size_t l = 0; l < lanes(); ++l) {
+            per_lane[l].push_back(harmonics[l].amplitude);
+        }
+    }
+
+    std::vector<thd_measurement> out;
+    out.reserve(lanes());
+    for (std::size_t l = 0; l < lanes(); ++l) {
+        out.push_back(compute_thd(per_lane[l]));
+    }
+    return out;
+}
+
+} // namespace bistna::eval

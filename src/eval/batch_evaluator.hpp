@@ -1,0 +1,75 @@
+// Batched sinewave evaluation across a lot of rendered records (the
+// lockstep companion of sinewave_evaluator).
+//
+// A production screening flow runs the *same* measurement program on every
+// die: grounded-input offset calibration, then one acquisition per mask
+// limit.  This layer holds one signature extractor per lane (die) and runs
+// each stage across all lanes at once through the sd::modulator_bank, so
+// the per-sample evaluator loop -- the sweep-cost hot path -- executes as
+// one vectorizable pass instead of N scalar ones.
+//
+// Every lane is bit-identical to a scalar sinewave_evaluator constructed
+// with the same config and driven through the same call sequence: lanes
+// own independent RNG streams and never interact, so results are invariant
+// under lane count and lane permutation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "eval/estimator.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/signature.hpp"
+
+namespace bistna::eval {
+
+class batch_evaluator {
+public:
+    /// One config per lane.  Seeds and modulator params may differ per
+    /// lane; n_per_period, offset mode and calibration_periods must be
+    /// uniform (the lockstep stages share one demodulation program).
+    explicit batch_evaluator(std::vector<evaluator_config> configs);
+
+    std::size_t lanes() const noexcept { return configs_.size(); }
+
+    /// One-time batched offset calibration of every not-yet-calibrated
+    /// lane (automatic on first use when the offset mode requires it).
+    void calibrate();
+
+    /// DC level (k = 0) of every lane's record, eq. (3).
+    std::vector<dc_measurement> measure_dc(std::span<const std::span<const double>> records,
+                                           std::size_t periods);
+
+    /// Amplitude + phase of harmonic k for every lane, eqs. (4)-(5).
+    std::vector<harmonic_measurement> measure_harmonic(
+        std::span<const std::span<const double>> records, std::size_t k,
+        std::size_t periods);
+
+    /// Same, over a subset of lanes: records[i] belongs to lane
+    /// lane_ids[i].  Lanes outside the subset consume nothing (exactly like
+    /// dice a scalar flow stopped measuring), so screening can drop a lane
+    /// that failed its self-test without perturbing its neighbours.
+    std::vector<harmonic_measurement> measure_harmonic_lanes(
+        std::span<const std::size_t> lane_ids,
+        std::span<const std::span<const double>> records, std::size_t k,
+        std::size_t periods);
+
+    /// THD from harmonics 1..max_harmonic of every lane (skipping ks that
+    /// violate the alignment condition, like the scalar evaluator).
+    std::vector<thd_measurement> measure_thd(std::span<const std::span<const double>> records,
+                                             std::size_t max_harmonic, std::size_t periods);
+
+    signature_extractor& extractor(std::size_t lane);
+    const evaluator_config& config(std::size_t lane) const;
+
+private:
+    acquisition_settings settings_for(std::size_t k, std::size_t periods) const;
+    void ensure_calibrated(std::span<const std::size_t> lane_ids);
+
+    std::vector<evaluator_config> configs_;
+    std::vector<signature_extractor> extractors_;
+    std::vector<std::size_t> all_lanes_;
+};
+
+} // namespace bistna::eval

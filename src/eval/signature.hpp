@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -75,6 +76,29 @@ public:
         const std::vector<std::size_t>& checkpoint_periods);
 
     const sd::modulator_params& modulator_params() const noexcept { return params_; }
+
+    // --- Batched lockstep path (sd::modulator_bank) -----------------------
+    //
+    // Lane i consumes extractors[i]'s RNG stream in exactly the order the
+    // scalar member functions would, so each lane's result is bit-identical
+    // to the scalar call on that extractor alone -- at any lane count and
+    // under any lane permutation (lanes never interact).  The scalar
+    // members above remain the reference implementation.
+
+    /// Batched acquire: lane i accumulates its signatures from records[i]
+    /// (the rendered record on the master-clock grid, length >= M*N), all
+    /// lanes stepped in lockstep through one modulator bank per channel.
+    /// Bit-identical to extractors[i]->acquire(as_source(records[i]), s).
+    static std::vector<signature_result> acquire_batch(
+        std::span<signature_extractor* const> extractors,
+        std::span<const std::span<const double>> records,
+        const acquisition_settings& settings);
+
+    /// Batched grounded-input offset calibration; bit-identical per lane to
+    /// extractors[i]->calibrate_offset(periods, n_per_period).
+    static void calibrate_offset_batch(std::span<signature_extractor* const> extractors,
+                                       std::size_t periods = 4096,
+                                       std::size_t n_per_period = 96);
 
 private:
     void validate(const acquisition_settings& settings) const;

@@ -19,6 +19,10 @@ modulator_params modulator_params::ideal() {
     return p;
 }
 
+double modulator_params::integrator_leak() const noexcept {
+    return 1.0 - ci_over_cf / std::pow(10.0, dc_gain_db / 20.0);
+}
+
 modulator_params modulator_params::cmos035() {
     modulator_params p;
     p.dc_gain_db = 72.0;
@@ -37,8 +41,9 @@ sd_modulator::sd_modulator(modulator_params params, bistna::rng noise_rng)
       rng_(noise_rng) {
     BISTNA_EXPECTS(params.ci_over_cf > 0.0, "CI/CF must be positive");
     BISTNA_EXPECTS(params.vref > 0.0, "Vref must be positive");
-    // Finite DC gain makes the integrator lossy: p = 1 - b/A to first order.
-    leak_ = 1.0 - params.ci_over_cf / std::pow(10.0, params.dc_gain_db / 20.0);
+    // Finite DC gain makes the integrator lossy.
+    leak_ = params.integrator_leak();
+    has_noise_ = params.noise_rms > 0.0;
 }
 
 int sd_modulator::step(double input, bool modulation_positive) {
@@ -46,9 +51,13 @@ int sd_modulator::step(double input, bool modulation_positive) {
     const int bit = comparator_.decide(state_);
 
     const double modulated = (modulation_positive ? input : -input) + params_.input_offset;
-    const double noise = params_.noise_rms > 0.0 ? rng_.gaussian(0.0, params_.noise_rms) : 0.0;
+    // The noiseless path never touches the RNG (the ideal proof-object
+    // modulator pays nothing for randomness it discards).
     const double increment =
-        params_.ci_over_cf * (modulated + noise - static_cast<double>(bit) * params_.vref);
+        has_noise_ ? params_.ci_over_cf * (modulated + rng_.gaussian(0.0, params_.noise_rms) -
+                                           static_cast<double>(bit) * params_.vref)
+                   : params_.ci_over_cf *
+                         (modulated - static_cast<double>(bit) * params_.vref);
 
     double next = leak_ * state_ + increment * (1.0 - params_.settling_error);
     const double clipped = std::clamp(next, -params_.integrator_swing, params_.integrator_swing);

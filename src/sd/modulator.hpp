@@ -39,6 +39,11 @@ struct modulator_params {
     static modulator_params ideal();
     /// Behavioral defaults for the 0.35 um prototype.
     static modulator_params cmos035();
+
+    /// Lossy-integrator pole from the finite DC gain: p = 1 - b/A to first
+    /// order.  Shared by the scalar modulator and the bank so the two can
+    /// never diverge.
+    double integrator_leak() const noexcept;
 };
 
 class sd_modulator {
@@ -65,6 +70,7 @@ private:
     bistna::rng rng_;
     double state_ = 0.0;
     double leak_ = 1.0;
+    bool has_noise_ = false; ///< noise_rms > 0, hoisted out of step()
     std::size_t clip_events_ = 0;
 };
 

@@ -1,0 +1,271 @@
+// Tests for the batched acquisition path: signature_extractor::acquire_batch
+// / calibrate_offset_batch and the batch_evaluator layer must be
+// bit-identical per lane to the scalar reference implementations.
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "eval/batch_evaluator.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/signature.hpp"
+
+namespace {
+
+using namespace bistna;
+using eval::acquisition_settings;
+using eval::batch_evaluator;
+using eval::evaluator_config;
+using eval::offset_mode;
+using eval::signature_extractor;
+using eval::signature_result;
+
+/// A distinct multi-harmonic record per lane on the N = 96 grid.
+std::vector<double> lane_record(std::size_t lane, std::size_t periods) {
+    const std::size_t n_per_period = 96;
+    std::vector<double> record(periods * n_per_period);
+    const double amplitude = 0.2 + 0.04 * static_cast<double>(lane);
+    const double phase = 0.3 * static_cast<double>(lane);
+    for (std::size_t n = 0; n < record.size(); ++n) {
+        const double angle = two_pi * static_cast<double>(n % n_per_period) / 96.0;
+        record[n] = amplitude * std::sin(angle + phase) +
+                    0.02 * std::sin(3.0 * angle) + 0.01;
+    }
+    return record;
+}
+
+void expect_identical(const signature_result& a, const signature_result& b) {
+    EXPECT_EQ(a.i1, b.i1);
+    EXPECT_EQ(a.i2, b.i2);
+    EXPECT_EQ(a.raw_i1, b.raw_i1);
+    EXPECT_EQ(a.raw_i2, b.raw_i2);
+    EXPECT_EQ(a.total_samples, b.total_samples);
+    EXPECT_EQ(a.harmonic_k, b.harmonic_k);
+    EXPECT_EQ(a.periods, b.periods);
+    EXPECT_EQ(a.eps_bound, b.eps_bound);
+    EXPECT_EQ(a.vref, b.vref);
+}
+
+class AcquireBatchModes : public ::testing::TestWithParam<offset_mode> {};
+
+TEST_P(AcquireBatchModes, BitIdenticalToScalarAcquirePerLane) {
+    const offset_mode mode = GetParam();
+    constexpr std::size_t n_lanes = 5;
+    constexpr std::size_t periods = 40;
+
+    acquisition_settings settings;
+    settings.harmonic_k = 1;
+    settings.periods = periods;
+    settings.offset = mode;
+
+    // Realistic modulators so offsets and noise streams actually matter.
+    const auto params = sd::modulator_params::cmos035();
+    std::vector<signature_extractor> batch_lanes;
+    std::vector<signature_extractor> scalar_lanes;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        batch_lanes.emplace_back(params, 900 + l);
+        scalar_lanes.emplace_back(params, 900 + l);
+    }
+
+    std::vector<std::vector<double>> records;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        records.push_back(lane_record(l, periods));
+    }
+
+    std::vector<signature_extractor*> lane_ptrs;
+    std::vector<std::span<const double>> spans;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        if (mode == offset_mode::calibrated) {
+            batch_lanes[l].calibrate_offset(64);
+            scalar_lanes[l].calibrate_offset(64);
+        }
+        lane_ptrs.push_back(&batch_lanes[l]);
+        spans.emplace_back(records[l]);
+    }
+
+    const auto batched = signature_extractor::acquire_batch(lane_ptrs, spans, settings);
+    ASSERT_EQ(batched.size(), n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        const auto scalar = scalar_lanes[l].acquire(
+            [&records, l](std::size_t n) { return records[l][n]; }, settings);
+        expect_identical(scalar, batched[l]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetModes, AcquireBatchModes,
+                         ::testing::Values(offset_mode::none, offset_mode::calibrated,
+                                           offset_mode::chopped));
+
+TEST(AcquireBatch, CalibrateOffsetBatchMatchesScalarCalibration) {
+    const auto params = sd::modulator_params::cmos035();
+    constexpr std::size_t n_lanes = 4;
+    std::vector<signature_extractor> batch_lanes;
+    std::vector<signature_extractor> scalar_lanes;
+    std::vector<signature_extractor*> lane_ptrs;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        batch_lanes.emplace_back(params, 50 + l);
+        scalar_lanes.emplace_back(params, 50 + l);
+    }
+    for (auto& lane : batch_lanes) {
+        lane_ptrs.push_back(&lane);
+    }
+    signature_extractor::calibrate_offset_batch(lane_ptrs, 128);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        scalar_lanes[l].calibrate_offset(128);
+        EXPECT_TRUE(batch_lanes[l].offset_calibrated());
+        EXPECT_EQ(scalar_lanes[l].offset_rate_ch1(), batch_lanes[l].offset_rate_ch1())
+            << "lane " << l;
+        EXPECT_EQ(scalar_lanes[l].offset_rate_ch2(), batch_lanes[l].offset_rate_ch2())
+            << "lane " << l;
+    }
+}
+
+TEST(AcquireBatch, RejectsMismatchedAndShortInputs) {
+    const auto params = sd::modulator_params::ideal();
+    signature_extractor lane(params, 1);
+    std::vector<signature_extractor*> lanes = {&lane};
+    acquisition_settings settings;
+    settings.periods = 10;
+    settings.offset = offset_mode::none;
+
+    const auto record = lane_record(0, 10);
+    std::vector<std::span<const double>> no_records;
+    EXPECT_THROW((void)signature_extractor::acquire_batch(lanes, no_records, settings),
+                 precondition_error);
+    const std::vector<double> short_record(5);
+    std::vector<std::span<const double>> short_spans = {short_record};
+    EXPECT_THROW((void)signature_extractor::acquire_batch(lanes, short_spans, settings),
+                 precondition_error);
+}
+
+evaluator_config lane_config(std::uint64_t seed, offset_mode offset) {
+    evaluator_config config;
+    config.modulator = sd::modulator_params::cmos035();
+    config.seed = seed;
+    config.offset = offset;
+    config.calibration_periods = 64; // keep the test fast
+    return config;
+}
+
+TEST(BatchEvaluator, HarmonicMeasurementsBitIdenticalToScalarEvaluator) {
+    constexpr std::size_t n_lanes = 4;
+    constexpr std::size_t periods = 32;
+
+    std::vector<evaluator_config> configs;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        configs.push_back(lane_config(300 + l, offset_mode::calibrated));
+    }
+    batch_evaluator batch(configs);
+
+    std::vector<std::vector<double>> records;
+    std::vector<std::span<const double>> spans;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        records.push_back(lane_record(l, periods));
+    }
+    for (const auto& record : records) {
+        spans.emplace_back(record);
+    }
+
+    const auto batched = batch.measure_harmonic(spans, 1, periods);
+    ASSERT_EQ(batched.size(), n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        eval::sinewave_evaluator scalar(configs[l]);
+        const auto expected = scalar.measure_harmonic(
+            [&records, l](std::size_t n) { return records[l][n]; }, 1, periods);
+        EXPECT_EQ(expected.amplitude.volts, batched[l].amplitude.volts) << "lane " << l;
+        EXPECT_EQ(expected.amplitude.bounds_volts, batched[l].amplitude.bounds_volts);
+        ASSERT_EQ(expected.phase.has_value(), batched[l].phase.has_value());
+        if (expected.phase) {
+            EXPECT_EQ(expected.phase->radians, batched[l].phase->radians) << "lane " << l;
+            EXPECT_EQ(expected.phase->bounds_radians, batched[l].phase->bounds_radians);
+        }
+        expect_identical(expected.signature, batched[l].signature);
+    }
+}
+
+TEST(BatchEvaluator, DcAndThdBitIdenticalToScalarEvaluator) {
+    constexpr std::size_t n_lanes = 3;
+    constexpr std::size_t periods = 32;
+
+    std::vector<evaluator_config> configs;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        configs.push_back(lane_config(700 + l, offset_mode::none));
+    }
+    std::vector<std::vector<double>> records;
+    std::vector<std::span<const double>> spans;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        records.push_back(lane_record(l, periods));
+    }
+    for (const auto& record : records) {
+        spans.emplace_back(record);
+    }
+
+    batch_evaluator dc_batch(configs);
+    const auto dc = dc_batch.measure_dc(spans, periods);
+    batch_evaluator thd_batch(configs);
+    const auto thd = thd_batch.measure_thd(spans, 3, periods);
+    ASSERT_EQ(dc.size(), n_lanes);
+    ASSERT_EQ(thd.size(), n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        auto source = [&records, l](std::size_t n) { return records[l][n]; };
+        eval::sinewave_evaluator scalar_dc(configs[l]);
+        const auto expected_dc = scalar_dc.measure_dc(source, periods);
+        EXPECT_EQ(expected_dc.volts, dc[l].volts) << "lane " << l;
+        EXPECT_EQ(expected_dc.bounds_volts, dc[l].bounds_volts) << "lane " << l;
+
+        eval::sinewave_evaluator scalar_thd(configs[l]);
+        const auto expected_thd = scalar_thd.measure_thd(source, 3, periods);
+        EXPECT_EQ(expected_thd.db, thd[l].db) << "lane " << l;
+        EXPECT_EQ(expected_thd.bounds_db, thd[l].bounds_db) << "lane " << l;
+    }
+}
+
+// Dropping a lane from later acquisitions (the screening self-test gate)
+// must not perturb the remaining lanes' streams.
+TEST(BatchEvaluator, LaneSubsetAcquisitionLeavesOtherLanesUntouched) {
+    constexpr std::size_t periods = 24;
+    std::vector<evaluator_config> configs = {lane_config(1, offset_mode::calibrated),
+                                             lane_config(2, offset_mode::calibrated),
+                                             lane_config(3, offset_mode::calibrated)};
+    batch_evaluator batch(configs);
+
+    std::vector<std::vector<double>> records;
+    for (std::size_t l = 0; l < configs.size(); ++l) {
+        records.push_back(lane_record(l, periods));
+    }
+    std::vector<std::span<const double>> all_spans;
+    for (const auto& record : records) {
+        all_spans.emplace_back(record);
+    }
+
+    // First acquisition over all lanes, second over lanes {0, 2} only.
+    const auto first = batch.measure_harmonic(all_spans, 1, periods);
+    const std::vector<std::size_t> subset = {0, 2};
+    std::vector<std::span<const double>> subset_spans = {records[0], records[2]};
+    const auto second = batch.measure_harmonic_lanes(subset, subset_spans, 1, periods);
+    ASSERT_EQ(second.size(), 2u);
+
+    // Scalar counterpart: lane 0 and 2 run two measurements, lane 1 one.
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+        const std::size_t l = subset[i];
+        eval::sinewave_evaluator scalar(configs[l]);
+        auto source = [&records, l](std::size_t n) { return records[l][n]; };
+        const auto scalar_first = scalar.measure_harmonic(source, 1, periods);
+        const auto scalar_second = scalar.measure_harmonic(source, 1, periods);
+        EXPECT_EQ(scalar_first.amplitude.volts, first[l].amplitude.volts);
+        EXPECT_EQ(scalar_second.amplitude.volts, second[i].amplitude.volts);
+        expect_identical(scalar_second.signature, second[i].signature);
+    }
+}
+
+TEST(BatchEvaluator, RejectsHeterogeneousSharedSettings) {
+    std::vector<evaluator_config> configs = {lane_config(1, offset_mode::calibrated),
+                                             lane_config(2, offset_mode::none)};
+    EXPECT_THROW(batch_evaluator b(configs), precondition_error);
+    EXPECT_THROW(batch_evaluator b(std::vector<evaluator_config>{}), precondition_error);
+}
+
+} // namespace
