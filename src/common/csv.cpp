@@ -149,4 +149,14 @@ csv_document csv_read(const std::string& path, bool has_header) {
     return doc;
 }
 
+void csv_write(const csv_document& doc, const std::string& path) {
+    csv_writer writer(path);
+    if (!doc.header.empty()) {
+        writer.header(doc.header);
+    }
+    for (const auto& row : doc.rows) {
+        writer.row(row);
+    }
+}
+
 } // namespace bistna

@@ -60,4 +60,11 @@ std::vector<std::string> csv_split(const std::string& line);
 /// csv_writer's max_digits10 formatting exactly.
 csv_document csv_read(const std::string& path, bool has_header = true);
 
+/// Write a whole document (the exact inverse of csv_read): header row when
+/// non-empty, then every data row with max_digits10 precision, so
+/// csv_read(csv_write(doc)) == doc bit-exactly.  Serialization entry point
+/// for artifacts that ship across machines (diag fault dictionaries,
+/// screening-report shards).
+void csv_write(const csv_document& doc, const std::string& path);
+
 } // namespace bistna

@@ -1,6 +1,7 @@
 #include "core/network_analyzer.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -61,12 +62,30 @@ hold_systematics hold_effect(std::size_t harmonic_k) {
     return hold_systematics{zoh_gain / cal_gain, zoh_phase - cal_phase};
 }
 
+/// Point-estimate phase with an honest full-circle interval, used whenever
+/// the eq. (5) uncertainty box encloses the origin (amplitude too small to
+/// pin the phase): the deep-stopband output case and the dead-stimulus
+/// calibration case share this exact convention.
+eval::phase_measurement fallback_phase(const eval::signature_result& sig) {
+    const eval::demod_reference demod(sig.harmonic_k, sig.n_per_period);
+    eval::phase_measurement phase;
+    phase.harmonic_k = sig.harmonic_k;
+    phase.radians = wrap_phase(std::atan2(sig.i1, sig.i2) + std::arg(demod.c1()));
+    phase.bounds_radians = interval::centered(phase.radians, pi);
+    return phase;
+}
+
 } // namespace
 
 stimulus_calibration make_stimulus_calibration(const eval::harmonic_measurement& harmonic) {
-    BISTNA_EXPECTS(harmonic.phase.has_value(),
-                   "stimulus phase undetermined: amplitude too small for M periods");
-    return stimulus_calibration{harmonic.amplitude, *harmonic.phase};
+    if (harmonic.phase.has_value()) {
+        return stimulus_calibration{harmonic.amplitude, *harmonic.phase};
+    }
+    // Amplitude too small to pin the phase (a healthy stimulus never gets
+    // here, but a catastrophically faulted die can): report the point
+    // estimate with an honest full-circle interval instead of aborting, so
+    // lot screening records the die as failing and moves on.
+    return stimulus_calibration{harmonic.amplitude, fallback_phase(harmonic.signature)};
 }
 
 frequency_point assemble_frequency_point(hertz f_wave, const stimulus_calibration& input,
@@ -76,24 +95,21 @@ frequency_point assemble_frequency_point(hertz f_wave, const stimulus_calibratio
     // Deep in the stopband the eq. (5) box may reach the origin; report the
     // point estimate with an honest full-circle interval (the huge error
     // bands of the paper's Fig. 10b beyond the DUT's resolvable range).
-    eval::phase_measurement output_phase;
-    if (output.phase.has_value()) {
-        output_phase = *output.phase;
-    } else {
-        const auto& sig = output.signature;
-        const eval::demod_reference demod(sig.harmonic_k, sig.n_per_period);
-        output_phase.harmonic_k = sig.harmonic_k;
-        output_phase.radians =
-            wrap_phase(std::atan2(sig.i1, sig.i2) + std::arg(demod.c1()));
-        output_phase.bounds_radians = interval::centered(output_phase.radians, pi);
-    }
+    const eval::phase_measurement output_phase =
+        output.phase.has_value() ? *output.phase : fallback_phase(output.signature);
 
     frequency_point point;
     point.f_wave = f_wave;
 
     // Gain: ratio of output to input amplitude (interval quotient, eq. (4)).
+    // A stimulus whose guaranteed amplitude interval reaches zero (a dead
+    // calibration path on a hard-faulted die) admits no finite gain bound;
+    // report the honest unbounded interval rather than aborting.
     const double gain = output.amplitude.volts / input.amplitude.volts;
-    const interval gain_bounds = output.amplitude.bounds_volts / input.amplitude.bounds_volts;
+    const interval gain_bounds =
+        input.amplitude.bounds_volts.lo() > 0.0
+            ? output.amplitude.bounds_volts / input.amplitude.bounds_volts
+            : interval(0.0, std::numeric_limits<double>::infinity());
 
     // Phase: difference of the two phase measurements (eq. (5)).
     double phase = output_phase.radians - input.phase.radians;
@@ -208,7 +224,7 @@ distortion_result network_analyzer::measure_distortion(hertz f_wave,
             interval(amplitude_ratio_to_db(h.bounds_volts.lo() / fund.bounds_volts.hi()),
                      amplitude_ratio_to_db(h.bounds_volts.hi() / fund.bounds_volts.lo())));
     }
-    result.thd_db = eval::compute_thd(amplitudes).db;
+    result.thd_db = eval::compute_thd_lenient(amplitudes).db;
     return result;
 }
 

@@ -54,9 +54,12 @@ struct frequency_point {
     double ideal_phase_deg = 0.0;
 };
 
-/// Wrap a calibration-path harmonic measurement as a stimulus calibration
-/// (throws when the stimulus phase is undetermined: amplitude too small
-/// for M periods).  Shared by the scalar analyzer and the batched paths.
+/// Wrap a calibration-path harmonic measurement as a stimulus calibration.
+/// When the phase is undetermined (amplitude too small for M periods --
+/// only a catastrophically faulted stimulus path gets there) the point
+/// estimate is kept with a full-circle interval, so screening can record
+/// the die as failing instead of aborting.  Shared by the scalar analyzer
+/// and the batched paths.
 stimulus_calibration make_stimulus_calibration(const eval::harmonic_measurement& harmonic);
 
 /// Assemble one Bode point from its two harmonic measurements -- the
@@ -117,6 +120,11 @@ public:
 
     const analyzer_settings& settings() const noexcept { return settings_; }
     demonstrator_board& board() noexcept { return board_; }
+
+    /// The evaluator this analyzer measures with (diagnostics read its
+    /// extractor's calibrated offset rates -- a direct probe of the
+    /// modulator pair's health).
+    eval::sinewave_evaluator& evaluator() noexcept { return evaluator_; }
 
 private:
     stimulus_calibration measure_stimulus(const sim::timebase& tb);

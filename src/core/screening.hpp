@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/csv.hpp"
 #include "common/statistics.hpp"
 #include "common/units.hpp"
 #include "core/network_analyzer.hpp"
@@ -36,18 +37,51 @@ struct spec_mask {
     static spec_mask paper_lowpass();
 };
 
-/// Per-limit screening outcome.
+/// Per-limit screening outcome.  Beyond pass/fail it records everything a
+/// downstream fault classifier needs (limit id, measured gain *and* phase,
+/// signed margin), so a failing die can be diagnosed from its report alone
+/// without re-measuring.
 struct limit_result {
     gain_limit limit;
+    std::size_t limit_index = 0; ///< position in the spec mask
     double measured_db = 0.0;
     interval measured_bounds_db;
+    double phase_deg = 0.0;      ///< measured phase at the limit frequency
+    interval phase_deg_bounds;
+    /// Worst-case distance of the guaranteed gain interval to the mask
+    /// window (positive: passes with that much room; negative: fails by
+    /// that much).
+    double margin_db = 0.0;
     bool passed = false;
+};
+
+/// Extra acquisitions / policies for a screening run.  The defaults are the
+/// plain production flow; the diag subsystem turns both knobs on so every
+/// die leaves screening with a complete fault signature.
+struct screening_options {
+    /// Keep measuring the mask limits (and distortion) after a failed
+    /// stimulus self-test instead of early-returning.  The die still fails,
+    /// but its report carries the data a classifier needs.
+    bool continue_after_self_test_failure = false;
+    /// Also measure harmonic distortion of the DUT output (one extra
+    /// acquisition per harmonic at distortion_f_hz).
+    bool measure_distortion = false;
+    double distortion_f_hz = 0.0; ///< 0 picks the first mask limit's frequency
+    std::size_t distortion_max_harmonic = 3;
 };
 
 struct screening_report {
     bool self_test_passed = false;
     double stimulus_volts = 0.0;
+    double stimulus_phase_deg = 0.0; ///< calibration-path phase (diagnostics)
+    /// Calibrated offset count rate of the evaluator's in-phase channel (0
+    /// when the offset mode doesn't calibrate) -- a direct probe of the
+    /// modulator pair's offset health.
+    double offset_rate = 0.0;
     std::vector<limit_result> limits;
+    bool distortion_measured = false;
+    double thd_db = 0.0;   ///< valid when distortion_measured
+    double thd_f_hz = 0.0; ///< frequency the THD was measured at
     bool passed = false;
 };
 
@@ -58,10 +92,12 @@ bool stimulus_self_test(const spec_mask& mask, double stimulus_volts);
 /// Pass/fail of one mask limit against a measured Bode point: conservative
 /// interval containment, so measurement uncertainty can never produce a
 /// false pass.  Shared by the scalar and batched paths.
-limit_result evaluate_limit(const gain_limit& limit, const frequency_point& point);
+limit_result evaluate_limit(const gain_limit& limit, const frequency_point& point,
+                            std::size_t limit_index = 0);
 
 /// Screen one board (self-test + all mask limits, conservative intervals).
-screening_report screen(network_analyzer& analyzer, const spec_mask& mask);
+screening_report screen(network_analyzer& analyzer, const spec_mask& mask,
+                        const screening_options& options = {});
 
 /// Factory producing a fresh board instance per Monte Carlo draw.
 using board_factory = std::function<demonstrator_board(std::uint64_t seed)>;
@@ -83,7 +119,12 @@ lot_result aggregate_lot(const std::vector<screening_report>& reports);
 /// Screen `dice` process draws; seeds are first_seed, first_seed+1, ...
 lot_result screen_lot(const board_factory& factory, const analyzer_settings& settings,
                       const spec_mask& mask, std::size_t dice,
-                      std::uint64_t first_seed = 1);
+                      std::uint64_t first_seed = 1, const screening_options& options = {});
+
+/// Per-die observer invoked (in die order, on the calling thread) with each
+/// finished report -- how the diag subsystem attaches a fault diagnosis to
+/// every failing die, and how a sharding exporter streams reports out.
+using die_report_hook = std::function<void(std::size_t die, const screening_report&)>;
 
 /// Parallel screen_lot via the sweep engine's thread pool: bit-identical to
 /// the sequential version at any thread count (each die is an independent
@@ -94,6 +135,26 @@ lot_result screen_lot(const board_factory& factory, const analyzer_settings& set
 lot_result screen_lot_parallel(const board_factory& factory,
                                const analyzer_settings& settings, const spec_mask& mask,
                                std::size_t dice, std::uint64_t first_seed = 1,
-                               std::size_t threads = 0, std::size_t batch_lanes = 1);
+                               std::size_t threads = 0, std::size_t batch_lanes = 1,
+                               const screening_options& options = {},
+                               const die_report_hook& on_report = nullptr);
+
+/// Serialize per-die reports as a CSV document (one row per die, fixed
+/// columns derived from the widest report), the first step of sharding a
+/// lot across processes/machines: shards write with csv_write, a collector
+/// reads them back with screening_reports_from_csv and aggregates.  The
+/// die column carries first_die + index, so a shard that screened dice
+/// [first_seed, first_seed + n) keeps its global identity (pass its
+/// first_seed here).
+csv_document screening_reports_to_csv(const std::vector<screening_report>& reports,
+                                      std::uint64_t first_die = 0);
+
+/// Inverse of screening_reports_to_csv.  Limit names are not serialized
+/// (CSV rows are numeric); pass the spec mask to restore them, or nullptr
+/// to leave them empty.  When die_ids is non-null it receives the die
+/// column (the shard's global die identities), in row order.
+std::vector<screening_report>
+screening_reports_from_csv(const csv_document& doc, const spec_mask* mask = nullptr,
+                           std::vector<std::uint64_t>* die_ids = nullptr);
 
 } // namespace bistna::core

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/math_util.hpp"
 #include "eval/batch_evaluator.hpp"
 
 namespace bistna::core {
@@ -205,7 +206,8 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
 
 std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
                                                          std::size_t dice,
-                                                         std::uint64_t first_seed) {
+                                                         std::uint64_t first_seed,
+                                                         const screening_options& screening) {
     BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
 
     std::vector<screening_report> reports(dice);
@@ -216,8 +218,8 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
         const std::size_t groups = (dice + lanes - 1) / lanes;
         run_batch(groups, resolved_threads(), [&](std::size_t g) {
             const std::size_t first = g * lanes;
-            screen_group(mask, first_seed + first, std::min(lanes, dice - first),
-                         &reports[first]);
+            screen_group(mask, screening, first_seed + first,
+                         std::min(lanes, dice - first), &reports[first]);
         });
         return reports;
     }
@@ -229,13 +231,14 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
         // dice only when their stimulus is genuinely identical).
         demonstrator_board board = make_board(first_seed + die);
         network_analyzer analyzer(board, settings_);
-        reports[die] = screen(analyzer, mask);
+        reports[die] = screen(analyzer, mask, screening);
     });
     return reports;
 }
 
-void sweep_engine::screen_group(const spec_mask& mask, std::uint64_t first_seed,
-                                std::size_t count, screening_report* reports) {
+void sweep_engine::screen_group(const spec_mask& mask, const screening_options& screening,
+                                std::uint64_t first_seed, std::size_t count,
+                                screening_report* reports) {
     BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
     BISTNA_EXPECTS(count > 0, "lane group must contain at least one die");
 
@@ -268,12 +271,16 @@ void sweep_engine::screen_group(const spec_mask& mask, std::uint64_t first_seed,
             inputs[l] = make_stimulus_calibration(measured[l]);
             screening_report& report = reports[l];
             report.stimulus_volts = inputs[l].amplitude.volts;
+            report.stimulus_phase_deg = rad_to_deg(inputs[l].phase.radians);
+            report.offset_rate = evaluators.extractor(l).offset_rate_ch1();
             report.self_test_passed = stimulus_self_test(mask, report.stimulus_volts);
             // Broken BIST circuitry gates out the die's DUT data; the lane
             // is dropped from every later acquisition (it consumes no more
-            // of its RNG stream, matching the scalar early return).
+            // of its RNG stream, matching the scalar early return) -- unless
+            // the diagnostic option keeps it measuring, matching the scalar
+            // diagnostic path.
             report.passed = report.self_test_passed;
-            if (report.self_test_passed) {
+            if (report.self_test_passed || screening.continue_after_self_test_failure) {
                 active.push_back(l);
             }
         }
@@ -282,10 +289,11 @@ void sweep_engine::screen_group(const spec_mask& mask, std::uint64_t first_seed,
         return;
     }
 
-    // Stage 2 -- every mask limit over the lanes that passed self-test:
-    // scalar renders (cache-shared staircase, per-lane DUT filtering), one
+    // Stage 2 -- every mask limit over the lanes still measuring: scalar
+    // renders (cache-shared staircase, per-lane DUT filtering), one
     // lockstep acquisition per limit.
-    for (const auto& limit : mask.limits) {
+    for (std::size_t limit_index = 0; limit_index < mask.limits.size(); ++limit_index) {
+        const auto& limit = mask.limits[limit_index];
         const auto tb = sim::timebase::for_wave_frequency(hertz{limit.f_hz});
         std::vector<std::vector<double>> records(active.size());
         std::vector<std::span<const double>> spans(active.size());
@@ -302,16 +310,220 @@ void sweep_engine::screen_group(const spec_mask& mask, std::uint64_t first_seed,
             const auto point =
                 assemble_frequency_point(hertz{limit.f_hz}, inputs[l], outputs[i],
                                          settings_.hold_compensation, boards[l].dut());
-            const auto result = evaluate_limit(limit, point);
+            const auto result = evaluate_limit(limit, point, limit_index);
             reports[l].passed = reports[l].passed && result.passed;
             reports[l].limits.push_back(result);
+        }
+    }
+
+    // Stage 3 -- optional distortion measurement (the scalar path's
+    // measure_distortion: distortion_periods renders, harmonics 1..max in
+    // one lockstep pass per harmonic).
+    if (screening.measure_distortion) {
+        const double f_hz = screening.distortion_f_hz > 0.0 ? screening.distortion_f_hz
+                                                            : mask.limits.front().f_hz;
+        const auto tb = sim::timebase::for_wave_frequency(hertz{f_hz});
+        std::vector<std::vector<double>> records(active.size());
+        std::vector<std::span<const double>> spans(active.size());
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            records[i] = boards[active[i]].render(tb, settings_.distortion_periods,
+                                                  signal_path::through_dut,
+                                                  settings_.settle_periods);
+            spans[i] = records[i];
+        }
+        const auto thd = evaluators.measure_thd_lanes(
+            active, spans, screening.distortion_max_harmonic, settings_.distortion_periods);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            reports[active[i]].distortion_measured = true;
+            reports[active[i]].thd_db = thd[i].db;
+            reports[active[i]].thd_f_hz = f_hz;
         }
     }
 }
 
 lot_result sweep_engine::screen_lot(const spec_mask& mask, std::size_t dice,
-                                    std::uint64_t first_seed) {
-    return aggregate_lot(screen_batch(mask, dice, first_seed));
+                                    std::uint64_t first_seed,
+                                    const screening_options& screening) {
+    return aggregate_lot(screen_batch(mask, dice, first_seed, screening));
+}
+
+namespace {
+
+/// Render one acquisition stage for one item, deduplicated through the
+/// batch's render share when the item carries a render key: identical
+/// boards produce bit-identical records (a render is a pure function of
+/// the board design), so the first item renders and the rest reuse.  The
+/// share is keyed on (render key, stage tag); the stage tag encodes the
+/// program stage, which pins (timebase, path, periods) within one batch.
+stimulus_cache::record_ptr render_stage(demonstrator_board& board,
+                                        stimulus_cache& shared_records,
+                                        std::uint64_t render_key, std::uint64_t stage_tag,
+                                        const sim::timebase& tb, std::size_t periods,
+                                        signal_path path, std::size_t settle_periods) {
+    auto render = [&] { return board.render(tb, periods, path, settle_periods); };
+    if (render_key == 0) {
+        return std::make_shared<const stimulus_cache::record>(render());
+    }
+    return shared_records.get_or_render(
+        stimulus_key{render_key, stage_tag, periods, settle_periods}, render);
+}
+
+/// Stage tags for render_stage: 0 is the calibration stage, 1 + i the i-th
+/// program frequency, 1 + frequencies.size() the distortion stage.
+constexpr std::uint64_t calibration_stage_tag = 0;
+
+eval::sample_source as_shared_source(stimulus_cache::record_ptr record) {
+    return [record = std::move(record)](std::size_t n) { return (*record)[n]; };
+}
+
+} // namespace
+
+std::vector<sweep_engine::acquisition_result> sweep_engine::acquire(
+    const std::vector<acquisition_item>& items, const acquisition_program& program) {
+    BISTNA_EXPECTS(!items.empty(), "acquisition batch must contain at least one item");
+    BISTNA_EXPECTS(!program.frequencies.empty(),
+                   "acquisition program must measure at least one frequency");
+
+    // Render share for keyed items, alive for this batch: one entry per
+    // (render key, stage).
+    stimulus_cache shared_records(
+        std::max<std::size_t>(64, 2 * (program.frequencies.size() + 2)));
+
+    std::vector<acquisition_result> results(items.size());
+    const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
+    if (lanes > 1) {
+        const std::size_t groups = (items.size() + lanes - 1) / lanes;
+        run_batch(groups, resolved_threads(), [&](std::size_t g) {
+            const std::size_t first = g * lanes;
+            acquire_group(items, program, first, std::min(lanes, items.size() - first),
+                          &results[first], shared_records);
+        });
+        return results;
+    }
+    run_batch(items.size(), resolved_threads(), [&](std::size_t i) {
+        results[i] = acquire_scalar(items[i], program, shared_records);
+    });
+    return results;
+}
+
+sweep_engine::acquisition_result sweep_engine::acquire_scalar(
+    const acquisition_item& item, const acquisition_program& program,
+    stimulus_cache& shared_records) {
+    demonstrator_board board = item.make_board();
+    if (stimulus_cache_) {
+        board.set_stimulus_cache(stimulus_cache_);
+    }
+    // The plain per-item evaluator, driven through exactly the call
+    // sequence the batched path runs in lockstep: offset calibration on
+    // first use, one fundamental acquisition for the calibration stage and
+    // per frequency, then one acquisition per distortion harmonic.
+    eval::sinewave_evaluator evaluator(item.evaluator);
+
+    acquisition_result result;
+    const auto cal_tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    const auto cal_record =
+        render_stage(board, shared_records, item.render_key, calibration_stage_tag, cal_tb,
+                     settings_.periods, signal_path::calibration, settings_.settle_periods);
+    result.calibration = make_stimulus_calibration(
+        evaluator.measure_harmonic(as_shared_source(cal_record), 1, settings_.periods));
+    result.offset_rate = evaluator.extractor().offset_rate_ch1();
+
+    result.points.reserve(program.frequencies.size());
+    for (std::size_t i = 0; i < program.frequencies.size(); ++i) {
+        const hertz f = program.frequencies[i];
+        const auto tb = sim::timebase::for_wave_frequency(f);
+        const auto record =
+            render_stage(board, shared_records, item.render_key, 1 + i, tb,
+                         settings_.periods, signal_path::through_dut,
+                         settings_.settle_periods);
+        const auto output =
+            evaluator.measure_harmonic(as_shared_source(record), 1, settings_.periods);
+        result.points.push_back(assemble_frequency_point(
+            f, result.calibration, output, settings_.hold_compensation, board.dut()));
+    }
+
+    if (program.distortion_max_harmonic >= 2) {
+        const hertz f = program.distortion_f.value > 0.0 ? program.distortion_f
+                                                         : program.frequencies.front();
+        const auto tb = sim::timebase::for_wave_frequency(f);
+        const auto record = render_stage(
+            board, shared_records, item.render_key, 1 + program.frequencies.size(), tb,
+            settings_.distortion_periods, signal_path::through_dut, settings_.settle_periods);
+        result.thd_db = evaluator
+                            .measure_thd(as_shared_source(record),
+                                         program.distortion_max_harmonic,
+                                         settings_.distortion_periods)
+                            .db;
+    }
+    return result;
+}
+
+void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
+                                 const acquisition_program& program, std::size_t first,
+                                 std::size_t count, acquisition_result* results,
+                                 stimulus_cache& shared_records) {
+    BISTNA_EXPECTS(count > 0, "lane group must contain at least one item");
+
+    std::vector<demonstrator_board> boards;
+    boards.reserve(count);
+    std::vector<eval::evaluator_config> configs;
+    configs.reserve(count);
+    for (std::size_t l = 0; l < count; ++l) {
+        boards.push_back(items[first + l].make_board());
+        if (stimulus_cache_) {
+            boards.back().set_stimulus_cache(stimulus_cache_);
+        }
+        configs.push_back(items[first + l].evaluator);
+    }
+    eval::batch_evaluator evaluators(std::move(configs));
+
+    std::vector<stimulus_cache::record_ptr> records(count);
+    std::vector<std::span<const double>> spans(count);
+    const auto render_all = [&](std::uint64_t stage_tag, const sim::timebase& tb,
+                                std::size_t periods, signal_path path) {
+        for (std::size_t l = 0; l < count; ++l) {
+            records[l] = render_stage(boards[l], shared_records, items[first + l].render_key,
+                                      stage_tag, tb, periods, path, settings_.settle_periods);
+            spans[l] = *records[l];
+        }
+    };
+
+    // Stage 1 -- calibration-path characterization (the scalar calibrate()).
+    const auto cal_tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    render_all(calibration_stage_tag, cal_tb, settings_.periods, signal_path::calibration);
+    const auto measured = evaluators.measure_harmonic(spans, 1, settings_.periods);
+    for (std::size_t l = 0; l < count; ++l) {
+        results[l].calibration = make_stimulus_calibration(measured[l]);
+        results[l].offset_rate = evaluators.extractor(l).offset_rate_ch1();
+        results[l].points.reserve(program.frequencies.size());
+    }
+
+    // Stage 2 -- fundamental gain/phase at every program frequency.
+    for (std::size_t i = 0; i < program.frequencies.size(); ++i) {
+        const hertz f = program.frequencies[i];
+        const auto tb = sim::timebase::for_wave_frequency(f);
+        render_all(1 + i, tb, settings_.periods, signal_path::through_dut);
+        const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
+        for (std::size_t l = 0; l < count; ++l) {
+            results[l].points.push_back(
+                assemble_frequency_point(f, results[l].calibration, outputs[l],
+                                         settings_.hold_compensation, boards[l].dut()));
+        }
+    }
+
+    // Stage 3 -- optional distortion (the scalar measure_distortion).
+    if (program.distortion_max_harmonic >= 2) {
+        const hertz f = program.distortion_f.value > 0.0 ? program.distortion_f
+                                                         : program.frequencies.front();
+        const auto tb = sim::timebase::for_wave_frequency(f);
+        render_all(1 + program.frequencies.size(), tb, settings_.distortion_periods,
+                   signal_path::through_dut);
+        const auto thd = evaluators.measure_thd(spans, program.distortion_max_harmonic,
+                                                settings_.distortion_periods);
+        for (std::size_t l = 0; l < count; ++l) {
+            results[l].thd_db = thd[l].db;
+        }
+    }
 }
 
 } // namespace bistna::core

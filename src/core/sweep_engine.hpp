@@ -89,13 +89,62 @@ public:
 
     /// Screen `dice` process draws concurrently; element i is the report of
     /// die seed first_seed + i.  Bit-identical to calling core::screen on
-    /// factory(first_seed + i) sequentially.
+    /// factory(first_seed + i) sequentially (including the diagnostic
+    /// continue-after-self-test and distortion options).
     std::vector<screening_report> screen_batch(const spec_mask& mask, std::size_t dice,
-                                               std::uint64_t first_seed = 1);
+                                               std::uint64_t first_seed = 1,
+                                               const screening_options& screening = {});
 
     /// Parallel drop-in for core::screen_lot (same aggregation, same seeds).
     lot_result screen_lot(const spec_mask& mask, std::size_t dice,
-                          std::uint64_t first_seed = 1);
+                          std::uint64_t first_seed = 1,
+                          const screening_options& screening = {});
+
+    // --- Generic lockstep acquisition ------------------------------------
+    //
+    // A screening lot varies the die seed; the diag trajectory builder
+    // varies a fault severity.  `acquire` abstracts over both: the caller
+    // describes each item (its board and its evaluator config) and one
+    // shared measurement program, and the engine fans the items out over
+    // the thread pool, grouping batch_lanes of them per work item through
+    // one SoA modulator bank.  batch_lanes = 1 runs the scalar
+    // network-analyzer-style reference path; any lane count is
+    // bit-identical to it, because every item owns its own seeded streams.
+
+    /// One item of a generic acquisition batch.  `make_board` must be a
+    /// pure function (it is invoked once, possibly on a worker thread); the
+    /// engine attaches its shared stimulus cache to the result.
+    struct acquisition_item {
+        std::function<demonstrator_board()> make_board;
+        eval::evaluator_config evaluator;
+        /// Items carrying the same nonzero key declare their boards
+        /// render-identical (same generator design, amplitude and DUT
+        /// draw; only the evaluator differs): the engine then renders each
+        /// program stage once per key and shares the immutable record --
+        /// bit-identical to rendering per item, because a render is a pure
+        /// function of the board design.  0 always renders.
+        std::uint64_t render_key = 0;
+    };
+
+    /// The measurement program every item runs: the scalar screening
+    /// sequence (calibration-path characterization, one fundamental
+    /// acquisition per frequency, optionally harmonics 1..max for THD).
+    struct acquisition_program {
+        std::vector<hertz> frequencies;
+        std::size_t distortion_max_harmonic = 0; ///< 0 skips the THD stage
+        hertz distortion_f{0.0}; ///< 0 picks frequencies.front()
+    };
+
+    /// Everything one item's program measured.
+    struct acquisition_result {
+        stimulus_calibration calibration;
+        double offset_rate = 0.0; ///< calibrated in-phase offset count rate
+        std::vector<frequency_point> points; ///< one per program frequency
+        double thd_db = 0.0; ///< valid when the program measured distortion
+    };
+
+    std::vector<acquisition_result> acquire(const std::vector<acquisition_item>& items,
+                                            const acquisition_program& program);
 
     /// Worker count a batch will actually use (resolves threads = 0).
     std::size_t resolved_threads() const noexcept;
@@ -115,9 +164,27 @@ private:
     /// one board per lane, one lockstep batch evaluator, reports written to
     /// reports[0..count).  Bit-identical per die to core::screen on a
     /// scalar analyzer (lanes failing the self-test are dropped from later
-    /// acquisitions, exactly like the scalar early return).
-    void screen_group(const spec_mask& mask, std::uint64_t first_seed, std::size_t count,
+    /// acquisitions, exactly like the scalar early return -- unless the
+    /// diagnostic continue option keeps them in, exactly like the scalar
+    /// diagnostic path).
+    void screen_group(const spec_mask& mask, const screening_options& screening,
+                      std::uint64_t first_seed, std::size_t count,
                       screening_report* reports);
+
+    /// Lockstep acquisition of items [first, first + count) of an acquire()
+    /// batch, results written to results[0..count).  `shared_records` is
+    /// the batch-lifetime render share for keyed items.
+    void acquire_group(const std::vector<acquisition_item>& items,
+                       const acquisition_program& program, std::size_t first,
+                       std::size_t count, acquisition_result* results,
+                       stimulus_cache& shared_records);
+
+    /// The scalar reference path of acquire(): one item through a plain
+    /// sinewave evaluator, the exact call sequence screen()/measure_point
+    /// would issue.
+    acquisition_result acquire_scalar(const acquisition_item& item,
+                                      const acquisition_program& program,
+                                      stimulus_cache& shared_records);
 
     board_factory factory_;
     analyzer_settings settings_;

@@ -1,0 +1,24 @@
+#include "diag/diagnose.hpp"
+
+namespace bistna::diag {
+
+diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
+                                      const core::analyzer_settings& settings,
+                                      const core::spec_mask& mask, const classifier& clf,
+                                      std::size_t dice, std::uint64_t first_seed,
+                                      std::size_t threads, std::size_t batch_lanes) {
+    const core::screening_options options = clf.dictionary().space.screening_options();
+    diagnosed_lot result;
+    result.lot = core::screen_lot_parallel(
+        factory, settings, mask, dice, first_seed, threads, batch_lanes, options,
+        [&](std::size_t die, const core::screening_report& report) {
+            if (report.passed) {
+                return;
+            }
+            result.failing.push_back(
+                diagnosed_die{die, report, clf.classify_report(report)});
+        });
+    return result;
+}
+
+} // namespace bistna::diag

@@ -1,0 +1,37 @@
+// Screening with diagnosis attached: the production entry point that runs
+// core::screen_lot_parallel in diagnostic mode and hands every failing
+// die's report to the classifier through the per-die report hook -- the
+// classifier's input comes straight out of the screening reports, no
+// re-measuring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/screening.hpp"
+#include "diag/classifier.hpp"
+
+namespace bistna::diag {
+
+struct diagnosed_die {
+    std::size_t die = 0;
+    core::screening_report report;
+    diagnosis result;
+};
+
+struct diagnosed_lot {
+    core::lot_result lot;
+    std::vector<diagnosed_die> failing; ///< every failing die, in die order
+};
+
+/// Screen `dice` process draws with the diagnostic options the
+/// classifier's dictionary space requires, attach a diagnosis to every
+/// failing die.  Same seeding / determinism guarantees as
+/// core::screen_lot_parallel.
+diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
+                                      const core::analyzer_settings& settings,
+                                      const core::spec_mask& mask, const classifier& clf,
+                                      std::size_t dice, std::uint64_t first_seed = 1,
+                                      std::size_t threads = 0, std::size_t batch_lanes = 1);
+
+} // namespace bistna::diag

@@ -1,0 +1,87 @@
+#include "diag/fault_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dut/filters.hpp"
+
+namespace bistna::diag {
+
+const char* fault_name(fault_kind kind) {
+    switch (kind) {
+    case fault_kind::cap_unit_mismatch:
+        return "cap-array unit mismatch";
+    case fault_kind::biquad_cap_drift:
+        return "biquad cap drift";
+    case fault_kind::opamp_degradation:
+        return "op-amp degradation";
+    case fault_kind::integrator_leak:
+        return "integrator leak";
+    case fault_kind::comparator_offset:
+        return "comparator offset";
+    }
+    return "unknown fault";
+}
+
+std::vector<fault_spec> default_catalog() {
+    // Ranges are chosen so severities in the upper half of each trajectory
+    // push the die out of the paper_lowpass() mask (mostly via the 5 %
+    // stimulus self-test window) while the lower half stays inside it --
+    // the dictionary then covers both marginal and hard failures.
+    return {
+        {fault_kind::cap_unit_mismatch, -0.5, 0.5, "relative unit-cap deviation"},
+        {fault_kind::biquad_cap_drift, -0.3, 0.3, "relative drift of cap B"},
+        {fault_kind::opamp_degradation, 0.0, 1.0, "degradation fraction"},
+        {fault_kind::integrator_leak, 0.0, 0.05, "per-sample leak 1-p"},
+        {fault_kind::comparator_offset, 0.0, 0.9, "volts"},
+    };
+}
+
+core::board_factory die_design::factory() const {
+    const die_design design = *this;
+    return [design](std::uint64_t seed) {
+        core::demonstrator_board board(
+            design.generator, dut::make_paper_dut(design.dut_tolerance_sigma, seed));
+        board.set_amplitude(volt{design.amplitude_volts});
+        return board;
+    };
+}
+
+void apply_fault(fault_kind kind, double severity, die_design& design,
+                 core::analyzer_settings& settings) {
+    switch (kind) {
+    case fault_kind::cap_unit_mismatch:
+        // The mid-slope unit CI_2 (selected 4 of 16 steps per period):
+        // deviating it shifts the fundamental a little and pumps odd
+        // harmonics a lot -- the THD axis is this fault's fingerprint.
+        design.generator.cap_fault_index = 2;
+        design.generator.cap_fault_delta = severity;
+        return;
+    case fault_kind::biquad_cap_drift:
+        // Drifting the damped integrator's feedback cap B moves the biquad
+        // pole (amplitude *and* phase of the stimulus move together).
+        design.generator.caps.b *= 1.0 + severity;
+        return;
+    case fault_kind::opamp_degradation:
+        design.generator.opamp1 = design.generator.opamp1.degraded(severity);
+        design.generator.opamp2 = design.generator.opamp2.degraded(severity);
+        return;
+    case fault_kind::integrator_leak:
+        if (severity > 0.0) {
+            settings.evaluator.modulator.dc_gain_db = sd::modulator_params::dc_gain_db_for_leak(
+                severity, settings.evaluator.modulator.ci_over_cf);
+        }
+        return;
+    case fault_kind::comparator_offset:
+        // The threshold component alone is noise-shaped by the sigma-delta
+        // loop (the feedback servo re-centres the duty cycle), so a broken
+        // comparator is modeled with its input-referred companion too --
+        // that is the part the grounded offset calibration actually reads,
+        // and past ~Vref - A it overloads the modulator and fails the die.
+        settings.evaluator.modulator.comparator_offset += severity;
+        settings.evaluator.modulator.input_offset += severity;
+        return;
+    }
+    throw configuration_error("apply_fault: unknown fault kind");
+}
+
+} // namespace bistna::diag

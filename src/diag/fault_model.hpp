@@ -1,0 +1,73 @@
+// Parameterized single-fault catalog for the BIST measurement chain
+// (extension; PAPERS.md "Fault-Trajectory Approach for Fault Diagnosis on
+// Analog Circuits").
+//
+// A fault here is a *deterministic parametric deviation* with a severity
+// axis, injected on top of the ordinary process draw: a damaged unit
+// capacitor in the generator's input array, drifted biquad capacitors, a
+// dying generator op-amp, a leaky evaluator integrator, or a comparator
+// offset.  Sweeping the severity and recording the measured signature at
+// every grid point yields the fault's *trajectory* -- a curve in signature
+// space that a classifier can match failing dice against (see
+// trajectory_builder / classifier).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/screening.hpp"
+#include "gen/generator.hpp"
+
+namespace bistna::diag {
+
+enum class fault_kind : int {
+    cap_unit_mismatch = 0, ///< one input-array unit capacitor deviates
+    biquad_cap_drift = 1,  ///< generator biquad integrating cap drifts
+    opamp_degradation = 2, ///< both generator op-amps degrade together
+    integrator_leak = 3,   ///< evaluator modulator integrator leaks
+    comparator_offset = 4, ///< evaluator modulator comparator offset
+};
+
+inline constexpr std::size_t fault_kind_count = 5;
+
+/// Human-readable fault name (stable; used in reports and tables).
+const char* fault_name(fault_kind kind);
+
+/// One catalog entry: a fault plus the severity range its dictionary
+/// trajectory covers.  Severity units are physical per fault (relative cap
+/// deviation, relative cap drift, degradation fraction, per-sample leak,
+/// volts of comparator offset).
+struct fault_spec {
+    fault_kind kind = fault_kind::cap_unit_mismatch;
+    double severity_min = 0.0;
+    double severity_max = 0.0;
+    std::string unit;
+};
+
+/// The default five-fault catalog with severity ranges wide enough that
+/// the upper grid points produce failing dice under the paper's spec mask.
+std::vector<fault_spec> default_catalog();
+
+/// Everything that defines one die design before the per-die process draw:
+/// the generator instance parameters, the DUT tolerance band and the
+/// programmed stimulus amplitude.  factory() turns it into the
+/// seed-indexed board factory the screening/sweep layers consume
+/// (the seed draws the DUT components; the generator instance is fixed,
+/// like one board design populated with different filter components).
+struct die_design {
+    gen::generator_params generator;       ///< realistic 0.35 um defaults
+    double dut_tolerance_sigma = 0.0;      ///< 0 = nominal (dictionary) DUT
+    double amplitude_volts = 0.15;         ///< V_A+ - V_A- (output ~ 0.3 V)
+
+    core::board_factory factory() const;
+};
+
+/// Inject `kind` at `severity` into a die design and its analyzer
+/// settings.  Generator-side faults land in design.generator (and thus in
+/// the stimulus-cache fingerprint); evaluator-side faults land in
+/// settings.evaluator.modulator.  severity = 0 is a no-op for every kind.
+void apply_fault(fault_kind kind, double severity, die_design& design,
+                 core::analyzer_settings& settings);
+
+} // namespace bistna::diag

@@ -1,0 +1,129 @@
+#include "diag/trajectory_builder.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+#include "core/sweep_engine.hpp"
+
+namespace bistna::diag {
+
+namespace {
+
+/// Identity of an item's *board* (generator design, DUT draw, amplitude)
+/// -- everything that shapes its rendered records.  Evaluator-side faults
+/// leave it unchanged, so every grid point of e.g. the integrator-leak
+/// trajectory renders the exact same records as the healthy item.
+std::uint64_t board_design_hash(const die_design& design, std::uint64_t nominal_seed) {
+    std::uint64_t hash = fnv1a_offset_basis;
+    fnv1a_mix(hash, design.generator.fingerprint());
+    fnv1a_mix(hash, design.dut_tolerance_sigma);
+    fnv1a_mix(hash, design.amplitude_volts);
+    fnv1a_mix(hash, nominal_seed);
+    return hash;
+}
+
+/// The severity grid of one fault: grid_points values spanning
+/// [severity_min, severity_max] (a single point degenerates to the min).
+std::vector<double> severity_grid(const fault_spec& spec, std::size_t grid_points) {
+    std::vector<double> severities;
+    severities.reserve(grid_points);
+    for (std::size_t g = 0; g < grid_points; ++g) {
+        const double t = grid_points == 1 ? 0.0
+                                          : static_cast<double>(g) /
+                                                static_cast<double>(grid_points - 1);
+        severities.push_back(lerp(spec.severity_min, spec.severity_max, t));
+    }
+    return severities;
+}
+
+} // namespace
+
+fault_dictionary build_dictionary(const die_design& design,
+                                  const core::analyzer_settings& settings,
+                                  const signature_space& space,
+                                  const std::vector<fault_spec>& faults,
+                                  const trajectory_build_options& options) {
+    BISTNA_EXPECTS(options.grid_points >= 1, "severity grid needs at least one point");
+    BISTNA_EXPECTS(!space.frequencies_hz.empty(),
+                   "signature space must measure at least one frequency");
+
+    // One item per (fault, grid point), plus the healthy reference as item
+    // 0.  Every item owns its evaluator seed (derived from its index), so
+    // the batch is bit-identical at any thread/lane count.
+    std::vector<core::sweep_engine::acquisition_item> items;
+    items.reserve(1 + faults.size() * options.grid_points);
+    std::vector<std::uint64_t> design_hashes;
+    design_hashes.reserve(items.capacity());
+    const auto add_item = [&](const die_design& item_design,
+                              const core::analyzer_settings& item_settings) {
+        core::sweep_engine::acquisition_item item;
+        const std::uint64_t board_seed = options.nominal_seed;
+        item.make_board = [factory = item_design.factory(), board_seed] {
+            return factory(board_seed);
+        };
+        item.evaluator = item_settings.evaluator;
+        item.evaluator.seed = core::sweep_item_seed(options.eval_seed_base, items.size());
+        design_hashes.push_back(board_design_hash(item_design, board_seed));
+        items.push_back(std::move(item));
+    };
+
+    add_item(design, settings); // healthy reference
+    for (const auto& spec : faults) {
+        for (double severity : severity_grid(spec, options.grid_points)) {
+            die_design faulty = design;
+            core::analyzer_settings faulty_settings = settings;
+            apply_fault(spec.kind, severity, faulty, faulty_settings);
+            add_item(faulty, faulty_settings);
+        }
+    }
+
+    // Evaluator-side fault grid points (and the healthy item) share one
+    // physical board: tag those duplicates so the engine renders their
+    // records once and shares them (bit-identical, renders are pure).
+    std::unordered_map<std::uint64_t, std::size_t> design_counts;
+    for (std::uint64_t hash : design_hashes) {
+        ++design_counts[hash];
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (design_counts[design_hashes[i]] > 1) {
+            items[i].render_key = design_hashes[i];
+        }
+    }
+
+    core::sweep_engine_options engine_options;
+    engine_options.threads = options.threads;
+    engine_options.batch_lanes = options.batch_lanes;
+    core::sweep_engine engine(design.factory(), settings, engine_options);
+
+    core::sweep_engine::acquisition_program program;
+    program.frequencies.reserve(space.frequencies_hz.size());
+    for (double f : space.frequencies_hz) {
+        program.frequencies.push_back(hertz{f});
+    }
+    if (space.thd_max_harmonic >= 2) {
+        program.distortion_max_harmonic = space.thd_max_harmonic;
+        program.distortion_f = hertz{space.resolved_thd_f_hz()};
+    }
+
+    const auto results = engine.acquire(items, program);
+
+    fault_dictionary dictionary;
+    dictionary.space = space;
+    dictionary.healthy = space.from_acquisition(results[0]);
+    std::size_t next = 1;
+    for (const auto& spec : faults) {
+        fault_trajectory trajectory;
+        trajectory.kind = spec.kind;
+        trajectory.points.reserve(options.grid_points);
+        for (double severity : severity_grid(spec, options.grid_points)) {
+            trajectory.points.push_back(
+                trajectory_point{severity, space.from_acquisition(results[next++])});
+        }
+        dictionary.trajectories.push_back(std::move(trajectory));
+    }
+    return dictionary;
+}
+
+} // namespace bistna::diag

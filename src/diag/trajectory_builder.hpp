@@ -1,0 +1,43 @@
+// Dictionary construction: sweep every catalog fault's severity over a
+// grid and acquire the full signature at each grid point, fanned out
+// through core::sweep_engine -- with batch_lanes > 1 one SoA modulator-bank
+// pass renders many severities in lockstep, bit-identical to the scalar
+// build (gated by bench_fault_diagnosis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network_analyzer.hpp"
+#include "diag/fault_dictionary.hpp"
+#include "diag/fault_model.hpp"
+
+namespace bistna::diag {
+
+struct trajectory_build_options {
+    /// Severity grid points per fault (>= 1; 1 degenerates to the fault's
+    /// severity_min -- a single-point trajectory).
+    std::size_t grid_points = 9;
+    /// Thread count / lockstep lane count of the underlying sweep engine
+    /// (same semantics as sweep_engine_options; lanes > 1 is the batched
+    /// build, bit-identical to lanes = 1).
+    std::size_t threads = 0;
+    std::size_t batch_lanes = 1;
+    /// DUT process-draw seed of the die the dictionary is built on (the
+    /// design's nominal die when dut_tolerance_sigma is 0).
+    std::uint64_t nominal_seed = 1;
+    /// Root of the per-grid-point evaluator seed stream (item seeds are
+    /// derived per index, so the build is scheduling-independent).
+    std::uint64_t eval_seed_base = 0xD1A65EEDULL;
+};
+
+/// Build the dictionary: one healthy acquisition plus grid_points
+/// acquisitions per catalog fault, signatures extracted into `space`.
+/// Deterministic and bit-identical at any thread or lane count.
+fault_dictionary build_dictionary(const die_design& design,
+                                  const core::analyzer_settings& settings,
+                                  const signature_space& space,
+                                  const std::vector<fault_spec>& faults,
+                                  const trajectory_build_options& options = {});
+
+} // namespace bistna::diag

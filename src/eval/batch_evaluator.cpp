@@ -115,24 +115,31 @@ std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes(
 std::vector<thd_measurement> batch_evaluator::measure_thd(
     std::span<const std::span<const double>> records, std::size_t max_harmonic,
     std::size_t periods) {
-    BISTNA_EXPECTS(max_harmonic >= 2, "THD needs at least harmonics 1..2");
-    BISTNA_EXPECTS(records.size() == lanes(), "need exactly one record per lane");
+    return measure_thd_lanes(all_lanes_, records, max_harmonic, periods);
+}
 
-    std::vector<std::vector<amplitude_measurement>> per_lane(lanes());
+std::vector<thd_measurement> batch_evaluator::measure_thd_lanes(
+    std::span<const std::size_t> lane_ids, std::span<const std::span<const double>> records,
+    std::size_t max_harmonic, std::size_t periods) {
+    BISTNA_EXPECTS(max_harmonic >= 2, "THD needs at least harmonics 1..2");
+    BISTNA_EXPECTS(lane_ids.size() == records.size(),
+                   "need exactly one record per requested lane");
+
+    std::vector<std::vector<amplitude_measurement>> per_lane(lane_ids.size());
     for (std::size_t k = 1; k <= max_harmonic; ++k) {
         if (!demod_reference::alignment_ok(k, configs_.front().n_per_period)) {
             continue; // documented: harmonics violating N mod 4k == 0 are skipped
         }
-        const auto harmonics = measure_harmonic(records, k, periods);
-        for (std::size_t l = 0; l < lanes(); ++l) {
-            per_lane[l].push_back(harmonics[l].amplitude);
+        const auto harmonics = measure_harmonic_lanes(lane_ids, records, k, periods);
+        for (std::size_t i = 0; i < lane_ids.size(); ++i) {
+            per_lane[i].push_back(harmonics[i].amplitude);
         }
     }
 
     std::vector<thd_measurement> out;
-    out.reserve(lanes());
-    for (std::size_t l = 0; l < lanes(); ++l) {
-        out.push_back(compute_thd(per_lane[l]));
+    out.reserve(lane_ids.size());
+    for (std::size_t i = 0; i < lane_ids.size(); ++i) {
+        out.push_back(compute_thd_lenient(per_lane[i]));
     }
     return out;
 }

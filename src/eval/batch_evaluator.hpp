@@ -60,6 +60,16 @@ public:
     std::vector<thd_measurement> measure_thd(std::span<const std::span<const double>> records,
                                              std::size_t max_harmonic, std::size_t periods);
 
+    /// Same, over a subset of lanes (records[i] belongs to lane
+    /// lane_ids[i]); lanes outside the subset consume nothing, exactly like
+    /// measure_harmonic_lanes.  Used by the diagnostic screening path so
+    /// self-test dropouts don't perturb their neighbours' distortion
+    /// measurements.
+    std::vector<thd_measurement> measure_thd_lanes(
+        std::span<const std::size_t> lane_ids,
+        std::span<const std::span<const double>> records, std::size_t max_harmonic,
+        std::size_t periods);
+
     signature_extractor& extractor(std::size_t lane);
     const evaluator_config& config(std::size_t lane) const;
 

@@ -115,4 +115,13 @@ thd_measurement compute_thd(const std::vector<amplitude_measurement>& harmonics)
     return thd;
 }
 
+thd_measurement compute_thd_lenient(const std::vector<amplitude_measurement>& harmonics) {
+    BISTNA_EXPECTS(harmonics.size() >= 2, "THD needs a fundamental and at least one harmonic");
+    if (harmonics.front().bounds_volts.lo() > 0.0) {
+        return compute_thd(harmonics);
+    }
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return thd_measurement{inf, interval(-inf, inf)};
+}
+
 } // namespace bistna::eval

@@ -84,4 +84,11 @@ struct thd_measurement {
 
 thd_measurement compute_thd(const std::vector<amplitude_measurement>& harmonics);
 
+/// compute_thd, degrading instead of throwing when the fundamental's
+/// guaranteed interval reaches zero (a dead or saturated signal path on a
+/// hard-faulted die): the ratio is unbounded, so the result is +inf dB
+/// with a no-information interval.  The measurement layers use this so lot
+/// screening and diagnosis record such dice as failing rather than abort.
+thd_measurement compute_thd_lenient(const std::vector<amplitude_measurement>& harmonics);
+
 } // namespace bistna::eval

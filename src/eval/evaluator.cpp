@@ -130,7 +130,7 @@ thd_measurement sinewave_evaluator::measure_thd(const sample_source& source,
         }
         amplitudes.push_back(measure_harmonic(source, k, periods).amplitude);
     }
-    return compute_thd(amplitudes);
+    return compute_thd_lenient(amplitudes);
 }
 
 std::vector<amplitude_measurement> sinewave_evaluator::amplitude_convergence(

@@ -27,4 +27,10 @@ double cap_array::level(std::size_t cap_index) const {
     return levels_[cap_index];
 }
 
+void cap_array::inject_level_fault(std::size_t cap_index, double relative_delta) {
+    BISTNA_EXPECTS(cap_index >= 1 && cap_index < level_count,
+                   "fault must target a real capacitor (index 1..4)");
+    levels_[cap_index] *= 1.0 + relative_delta;
+}
+
 } // namespace bistna::gen

@@ -29,6 +29,15 @@ public:
     /// The drawn (unsigned) level for index k.
     double level(std::size_t cap_index) const;
 
+    /// Inject a parametric deviation into one drawn level on top of the
+    /// process mismatch: levels[cap_index] *= 1 + relative_delta.  This is
+    /// the diag fault model's "unit capacitor defect" (a damaged switch or
+    /// shorted finger), distinct from the random matching error: the same
+    /// physical capacitor realizes the mirrored steps n, 8-n, 8+n, 16-n,
+    /// so the deviation stays half-wave antisymmetric and shows up as odd
+    /// harmonic distortion plus a fundamental shift.
+    void inject_level_fault(std::size_t cap_index, double relative_delta);
+
 private:
     std::array<double, level_count> levels_{};
 };

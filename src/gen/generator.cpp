@@ -49,6 +49,8 @@ std::uint64_t generator_params::fingerprint() const noexcept {
     fnv1a_mix(hash, process.opamp_offset_sigma);
     fnv1a_mix(hash, static_cast<std::uint64_t>(process.process_corner));
     fnv1a_mix(hash, seed);
+    fnv1a_mix(hash, static_cast<std::uint64_t>(cap_fault_index));
+    fnv1a_mix(hash, cap_fault_delta);
     return hash;
 }
 
@@ -69,7 +71,11 @@ sinewave_generator::draw_instance(const generator_params& params) {
     caps.c = process.matched_capacitor(caps.c);
     caps.d = process.matched_capacitor(caps.d);
     caps.f = process.matched_capacitor(caps.f);
-    return drawn_instance{caps, cap_array(process)};
+    cap_array array(process);
+    if (params.cap_fault_delta != 0.0) {
+        array.inject_level_fault(params.cap_fault_index, params.cap_fault_delta);
+    }
+    return drawn_instance{caps, std::move(array)};
 }
 
 sinewave_generator::sinewave_generator(const generator_params& params)

@@ -27,6 +27,13 @@ struct generator_params {
     sim::process_params process = sim::process_params::cmos035();
     std::uint64_t seed = 1;
 
+    /// Parametric single-fault injection into the drawn input array (diag
+    /// fault model): unit capacitor `cap_fault_index` deviates by
+    /// `cap_fault_delta` relative on top of the process mismatch draw.
+    /// 0 disables the fault; both fields are part of the fingerprint.
+    std::size_t cap_fault_index = 2;
+    double cap_fault_delta = 0.0;
+
     /// Fully ideal instance (exact caps, perfect op-amps, no noise).
     static generator_params ideal();
 

@@ -34,6 +34,14 @@ opamp_params opamp_params::folded_cascode_035() {
 
 double opamp_params::dc_gain_linear() const { return std::pow(10.0, dc_gain_db / 20.0); }
 
+opamp_params opamp_params::degraded(double severity) const {
+    opamp_params out = *this;
+    out.dc_gain_db -= 40.0 * severity;
+    out.settling_error += 2.0e-2 * severity;
+    out.hd3 += 0.3 * severity;
+    return out;
+}
+
 double opamp_params::apply_nonlinearity(double v) const {
     if (hd2 == 0.0 && hd3 == 0.0) {
         return v;

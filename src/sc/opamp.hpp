@@ -29,6 +29,13 @@ struct opamp_params {
 
     double dc_gain_linear() const;
 
+    /// A uniformly degraded copy of this amplifier (the diag fault model's
+    /// "dying op-amp" axis): severity 0 is this instance; severity 1 loses
+    /// 40 dB of DC gain, settles 2 % short on every transfer and picks up
+    /// a strong cubic compression.  The three effects move together because
+    /// they share a physical cause (lost bias headroom / slew current).
+    opamp_params degraded(double severity) const;
+
     /// Apply the static output nonlinearity to a settled output voltage.
     double apply_nonlinearity(double v) const;
 

@@ -23,6 +23,10 @@ double modulator_params::integrator_leak() const noexcept {
     return 1.0 - ci_over_cf / std::pow(10.0, dc_gain_db / 20.0);
 }
 
+double modulator_params::dc_gain_db_for_leak(double leak, double ci_over_cf) noexcept {
+    return 20.0 * std::log10(ci_over_cf / leak);
+}
+
 modulator_params modulator_params::cmos035() {
     modulator_params p;
     p.dc_gain_db = 72.0;

@@ -44,6 +44,11 @@ struct modulator_params {
     /// order.  Shared by the scalar modulator and the bank so the two can
     /// never diverge.
     double integrator_leak() const noexcept;
+
+    /// DC gain (dB) that produces a given per-sample leak 1 - p = b/A --
+    /// the inverse of integrator_leak(), used by the diag fault model to
+    /// express an integrator-leak fault directly on its severity axis.
+    static double dc_gain_db_for_leak(double leak, double ci_over_cf = 0.4) noexcept;
 };
 
 class sd_modulator {

@@ -1,0 +1,109 @@
+// End-to-end localization accuracy (the subsystem's acceptance gate): on
+// Monte Carlo lots with injected single faults at severities inside the
+// dictionary range, the classifier must rank the true fault first for at
+// least 90 % of the dice that fail screening.  Everything is seeded, so
+// the measured accuracy is a deterministic property of the build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/screening.hpp"
+#include "diag/classifier.hpp"
+#include "diag/diagnose.hpp"
+#include "diag/fault_model.hpp"
+#include "diag/trajectory_builder.hpp"
+
+namespace {
+
+using namespace bistna;
+
+constexpr std::size_t kDicePerCell = 5;
+constexpr double kComponentSigma = 0.02;
+
+TEST(DiagnosisAccuracy, TrueFaultRanksFirstForAtLeastNinetyPercentOfFailingDice) {
+    const diag::die_design design;
+    const core::analyzer_settings settings;
+    const auto mask = core::spec_mask::paper_lowpass();
+    const auto catalog = diag::default_catalog();
+    const auto space = diag::signature_space::from_mask(mask, /*thd_max_harmonic=*/3);
+
+    diag::trajectory_build_options build;
+    build.grid_points = 9;
+    build.batch_lanes = 8;
+    const diag::classifier clf(
+        diag::build_dictionary(design, settings, space, catalog, build));
+
+    std::size_t failing = 0;
+    std::size_t top1 = 0;
+    std::size_t ambiguous = 0;
+    for (const auto& spec : catalog) {
+        // One low and one high severity per fault, both inside the grid.
+        for (double fraction : {0.25, 11.0 / 12.0}) {
+            const double severity =
+                spec.severity_min + fraction * (spec.severity_max - spec.severity_min);
+            diag::die_design faulty = design;
+            faulty.dut_tolerance_sigma = kComponentSigma;
+            core::analyzer_settings faulty_settings = settings;
+            diag::apply_fault(spec.kind, severity, faulty, faulty_settings);
+
+            const auto diagnosed = diag::screen_and_diagnose_lot(
+                faulty.factory(), faulty_settings, mask, clf, kDicePerCell,
+                /*first_seed=*/2000 + static_cast<std::uint64_t>(fraction * 100.0),
+                /*threads=*/0, /*batch_lanes=*/4);
+            for (const auto& die : diagnosed.failing) {
+                ++failing;
+                ASSERT_FALSE(die.result.ranked.empty());
+                if (die.result.ranked.front().kind == spec.kind) {
+                    ++top1;
+                    // The severity estimate must land in the right region
+                    // of the trajectory, not just the right fault.
+                    EXPECT_LE(std::abs(die.result.ranked.front().severity - severity),
+                              0.35 * (spec.severity_max - spec.severity_min))
+                        << diag::fault_name(spec.kind) << " at severity " << severity;
+                }
+                for (const auto& hypothesis : die.result.ambiguity) {
+                    if (hypothesis.kind == spec.kind) {
+                        ++ambiguous;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // A meaningful denominator: a healthy-leaning configuration that fails
+    // almost nothing would make the accuracy ratio vacuous.
+    ASSERT_GE(failing, 20u);
+    const double accuracy = static_cast<double>(top1) / static_cast<double>(failing);
+    EXPECT_GE(accuracy, 0.9) << top1 << "/" << failing << " failing dice localized";
+    // The ambiguity set is a superset signal: it must hold the true fault
+    // at least as often as top-1 does.
+    EXPECT_GE(ambiguous, top1);
+}
+
+TEST(DiagnosisAccuracy, FaultFreeLotYieldsNoFalseDiagnoses) {
+    const diag::die_design design;
+    const core::analyzer_settings settings;
+    const auto mask = core::spec_mask::paper_lowpass();
+    const auto space = diag::signature_space::from_mask(mask, /*thd_max_harmonic=*/3);
+
+    diag::trajectory_build_options build;
+    build.grid_points = 5;
+    build.batch_lanes = 8;
+    const diag::classifier clf(
+        diag::build_dictionary(design, settings, space, diag::default_catalog(), build));
+
+    diag::die_design healthy = design;
+    healthy.dut_tolerance_sigma = kComponentSigma;
+    const auto control =
+        diag::screen_and_diagnose_lot(healthy.factory(), settings, mask, clf,
+                                      /*dice=*/12, /*first_seed=*/7000,
+                                      /*threads=*/0, /*batch_lanes=*/4);
+    // 2 % components against the paper mask: this seeded lot passes
+    // entirely, so nothing reaches the classifier.
+    EXPECT_EQ(control.failing.size(), 0u);
+    EXPECT_EQ(control.lot.passed, control.lot.dice);
+}
+
+} // namespace

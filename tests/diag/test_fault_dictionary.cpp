@@ -1,0 +1,238 @@
+// Signature space and dictionary serialization: component-name encoding
+// round-trips the space, csv_write/csv_read round-trips every double
+// bit-exactly, malformed inputs are rejected, and signature extraction
+// sanitizes the unbounded readings hard faults produce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/screening.hpp"
+#include "diag/fault_dictionary.hpp"
+
+namespace {
+
+using namespace bistna;
+
+class temp_csv {
+public:
+    explicit temp_csv(const char* name) : path_(std::string("/tmp/") + name) {}
+    ~temp_csv() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+diag::signature_space paper_space(std::size_t thd_max_harmonic = 3) {
+    return diag::signature_space::from_mask(core::spec_mask::paper_lowpass(),
+                                            thd_max_harmonic);
+}
+
+/// A small synthetic dictionary with non-trivial doubles in every slot.
+diag::fault_dictionary synthetic_dictionary() {
+    diag::fault_dictionary dictionary;
+    dictionary.space = paper_space();
+    const std::size_t dims = dictionary.space.dimensions();
+    auto signature = [&](double base) {
+        std::vector<double> s(dims);
+        for (std::size_t c = 0; c < dims; ++c) {
+            s[c] = base + static_cast<double>(c) / 3.0;
+        }
+        return s;
+    };
+    dictionary.healthy = signature(0.30301449882080411);
+    dictionary.trajectories = {
+        {diag::fault_kind::cap_unit_mismatch,
+         {{-0.5, signature(-1.0 / 3.0)}, {0.0, signature(0.1)}, {0.5, signature(0.7)}}},
+        {diag::fault_kind::integrator_leak, {{0.02, signature(42.125)}}},
+    };
+    return dictionary;
+}
+
+TEST(SignatureSpace, DimensionsAndNamesAgree) {
+    const auto space = paper_space();
+    EXPECT_EQ(space.dimensions(), 3u + 3u + 3u + 1u);
+    const auto names = space.component_names();
+    ASSERT_EQ(names.size(), space.dimensions());
+    EXPECT_EQ(names.front(), "stimulus_volts");
+    EXPECT_EQ(names[3], "gain_db@200");
+    EXPECT_EQ(names[6], "phase_deg@200");
+    EXPECT_EQ(names.back(), "thd3_db@200");
+    EXPECT_EQ(space.component_floors().size(), space.dimensions());
+}
+
+TEST(SignatureSpace, ParseInvertsComponentNames) {
+    for (std::size_t thd : {std::size_t{0}, std::size_t{3}}) {
+        const auto space = paper_space(thd);
+        EXPECT_EQ(diag::signature_space::parse(space.component_names()), space);
+    }
+}
+
+TEST(SignatureSpace, ParseRejectsMalformedNames) {
+    EXPECT_THROW(diag::signature_space::parse(std::vector<std::string>{"bogus"}),
+                 configuration_error);
+    EXPECT_THROW(diag::signature_space::parse(std::vector<std::string>{"gain_db@abc"}),
+                 configuration_error);
+    EXPECT_THROW(diag::signature_space::parse(std::vector<std::string>{"thd3@200"}),
+                 configuration_error);
+    // Harmonic counts that would be cast UB or nonsense: rejected before
+    // any cast.
+    for (const char* name : {"thd-3_db@200", "thd1_db@200", "thd1e300_db@200",
+                             "thd2.5_db@200"}) {
+        EXPECT_THROW(diag::signature_space::parse(std::vector<std::string>{name}),
+                     configuration_error)
+            << name;
+    }
+    // Gain and phase frequency lists must agree.
+    EXPECT_THROW(diag::signature_space::parse(
+                     std::vector<std::string>{"gain_db@200", "phase_deg@300"}),
+                 configuration_error);
+}
+
+TEST(FaultDictionary, CsvRoundTripsBitExactly) {
+    const auto dictionary = synthetic_dictionary();
+    temp_csv file("bistna_fault_dictionary_roundtrip.csv");
+    dictionary.write_csv(file.path());
+    const auto reloaded = diag::fault_dictionary::read_csv(file.path());
+    EXPECT_EQ(reloaded, dictionary); // operator== is element-wise on doubles
+}
+
+TEST(FaultDictionary, CsvGroupsConsecutiveRowsIntoTrajectories) {
+    const auto doc = synthetic_dictionary().to_csv();
+    ASSERT_GE(doc.rows.size(), 5u);
+    EXPECT_EQ(doc.header[0], "fault_kind");
+    EXPECT_EQ(doc.header[1], "trajectory");
+    EXPECT_EQ(doc.header[2], "severity");
+    EXPECT_EQ(doc.rows.front()[0], -1.0); // healthy row
+
+    const auto parsed = diag::fault_dictionary::from_csv(doc);
+    ASSERT_EQ(parsed.trajectories.size(), 2u);
+    EXPECT_EQ(parsed.trajectories[0].points.size(), 3u);
+    EXPECT_EQ(parsed.trajectories[1].points.size(), 1u);
+    EXPECT_EQ(parsed.trajectories[1].kind, diag::fault_kind::integrator_leak);
+}
+
+TEST(FaultDictionary, TwoTrajectoriesOfTheSameKindSurviveTheRoundTrip) {
+    // E.g. the two branches of a signed severity axis, stored as separate
+    // polylines: the trajectory id column must keep them apart even though
+    // their rows are adjacent with the same fault kind.
+    auto dictionary = synthetic_dictionary();
+    dictionary.trajectories = {
+        {diag::fault_kind::cap_unit_mismatch,
+         {{-0.5, dictionary.healthy}, {-0.25, dictionary.trajectories[0].points[0].signature}}},
+        {diag::fault_kind::cap_unit_mismatch,
+         {{0.25, dictionary.trajectories[0].points[1].signature},
+          {0.5, dictionary.trajectories[0].points[2].signature}}},
+    };
+    const auto reloaded = diag::fault_dictionary::from_csv(dictionary.to_csv());
+    EXPECT_EQ(reloaded, dictionary);
+    ASSERT_EQ(reloaded.trajectories.size(), 2u);
+}
+
+TEST(FaultDictionary, FromCsvRejectsMalformedDocuments) {
+    auto doc = synthetic_dictionary().to_csv();
+    auto bad_header = doc;
+    bad_header.header[0] = "kind";
+    EXPECT_THROW(diag::fault_dictionary::from_csv(bad_header), configuration_error);
+
+    // Out-of-range, fractional, or non-finite fault-kind cells (shipped
+    // CSVs are untrusted input) are rejected before any cast.
+    for (double cell : {99.0, -2.0, 1.5, 1.0e18,
+                        std::numeric_limits<double>::quiet_NaN()}) {
+        auto bad_kind = doc;
+        bad_kind.rows[1][0] = cell;
+        EXPECT_THROW(diag::fault_dictionary::from_csv(bad_kind), configuration_error)
+            << cell;
+    }
+
+    auto bad_width = doc;
+    bad_width.rows[1].pop_back();
+    EXPECT_THROW(diag::fault_dictionary::from_csv(bad_width), configuration_error);
+
+    auto two_healthy = doc;
+    two_healthy.rows.push_back(two_healthy.rows.front());
+    EXPECT_THROW(diag::fault_dictionary::from_csv(two_healthy), configuration_error);
+
+    // Signatures are positional: a header whose (individually valid)
+    // component columns are out of canonical order would scramble every
+    // signature and must be rejected, not silently accepted.
+    auto reordered = doc;
+    std::swap(reordered.header[3], reordered.header[4]);
+    EXPECT_THROW(diag::fault_dictionary::from_csv(reordered), configuration_error);
+}
+
+TEST(SignatureSpace, FromReportRequiresDiagnosticData) {
+    const auto space = paper_space();
+    core::screening_report report;
+    report.stimulus_volts = 0.3;
+    // No limits measured (non-diagnostic early return): extraction refuses.
+    EXPECT_THROW(space.from_report(report), configuration_error);
+}
+
+TEST(SignatureSpace, FromReportExtractsComponentsInOrder) {
+    const auto space = paper_space();
+    const auto mask = core::spec_mask::paper_lowpass();
+    core::screening_report report;
+    report.stimulus_volts = 0.302;
+    report.stimulus_phase_deg = 103.5;
+    report.offset_rate = 0.01;
+    for (std::size_t i = 0; i < mask.limits.size(); ++i) {
+        core::limit_result result;
+        result.limit = mask.limits[i];
+        result.limit_index = i;
+        result.measured_db = -3.0 - static_cast<double>(i);
+        result.phase_deg = -45.0 * static_cast<double>(i + 1);
+        report.limits.push_back(result);
+    }
+    report.distortion_measured = true;
+    report.thd_db = -55.5;
+    report.thd_f_hz = 200.0;
+
+    const auto signature = space.from_report(report);
+    ASSERT_EQ(signature.size(), space.dimensions());
+    EXPECT_EQ(signature[0], 0.302);
+    EXPECT_EQ(signature[1], 103.5);
+    EXPECT_EQ(signature[2], 0.01);
+    EXPECT_EQ(signature[3], -3.0);   // gain@200
+    EXPECT_EQ(signature[6], -45.0);  // phase@200
+    EXPECT_EQ(signature.back(), -55.5);
+
+    // A space whose thd_f_hz was left at the 0-means-default resolves it
+    // exactly like screening does (first frequency), so extraction still
+    // finds the measurement.
+    auto defaulted = space;
+    defaulted.thd_f_hz = 0.0;
+    EXPECT_EQ(defaulted.resolved_thd_f_hz(), 200.0);
+    EXPECT_EQ(defaulted.screening_options().distortion_f_hz, 200.0);
+    EXPECT_EQ(defaulted.from_report(report).back(), -55.5);
+}
+
+TEST(SignatureSpace, ExtractionSanitizesUnboundedReadings) {
+    const auto space = paper_space();
+    const auto mask = core::spec_mask::paper_lowpass();
+    core::screening_report report;
+    report.stimulus_volts = 0.0; // dead stimulus
+    for (std::size_t i = 0; i < mask.limits.size(); ++i) {
+        core::limit_result result;
+        result.limit = mask.limits[i];
+        result.measured_db = i == 0 ? -std::numeric_limits<double>::infinity()
+                                    : std::numeric_limits<double>::quiet_NaN();
+        report.limits.push_back(result);
+    }
+    report.distortion_measured = true;
+    report.thd_db = std::numeric_limits<double>::infinity();
+    report.thd_f_hz = 200.0;
+
+    const auto signature = space.from_report(report);
+    for (double component : signature) {
+        EXPECT_TRUE(std::isfinite(component));
+    }
+    EXPECT_EQ(signature[3], diag::signature_space::gain_clamp_db);
+    EXPECT_EQ(signature.back(), -diag::signature_space::thd_clamp_db);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+// Fault catalog and injection: every fault lands in the layer it claims to
+// (generator design vs. evaluator modulator), severity 0 is a no-op, and
+// the injected deviations are visible to the stimulus-cache fingerprint so
+// faulty and healthy boards can never share a cached record.
+#include <gtest/gtest.h>
+
+#include "diag/fault_model.hpp"
+#include "gen/generator.hpp"
+#include "sc/opamp.hpp"
+#include "sd/modulator.hpp"
+
+namespace {
+
+using namespace bistna;
+
+TEST(FaultModel, CatalogCoversEveryKindOnce) {
+    const auto catalog = diag::default_catalog();
+    ASSERT_EQ(catalog.size(), diag::fault_kind_count);
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(catalog[i].kind), static_cast<int>(i));
+        EXPECT_LT(catalog[i].severity_min, catalog[i].severity_max);
+        EXPECT_FALSE(catalog[i].unit.empty());
+        EXPECT_STRNE(diag::fault_name(catalog[i].kind), "unknown fault");
+    }
+}
+
+TEST(FaultModel, GeneratorFaultsLandInTheDesign) {
+    for (auto kind : {diag::fault_kind::cap_unit_mismatch, diag::fault_kind::biquad_cap_drift,
+                      diag::fault_kind::opamp_degradation}) {
+        diag::die_design design;
+        core::analyzer_settings settings;
+        const auto nominal_settings = settings;
+        diag::apply_fault(kind, 0.1, design, settings);
+        EXPECT_NE(design.generator.fingerprint(), diag::die_design{}.generator.fingerprint())
+            << diag::fault_name(kind) << " must change the stimulus fingerprint";
+        EXPECT_EQ(settings.evaluator.modulator.dc_gain_db,
+                  nominal_settings.evaluator.modulator.dc_gain_db);
+        EXPECT_EQ(settings.evaluator.modulator.comparator_offset,
+                  nominal_settings.evaluator.modulator.comparator_offset);
+    }
+}
+
+TEST(FaultModel, EvaluatorFaultsLandInTheModulator) {
+    for (auto kind :
+         {diag::fault_kind::integrator_leak, diag::fault_kind::comparator_offset}) {
+        diag::die_design design;
+        core::analyzer_settings settings;
+        diag::apply_fault(kind, 0.01, design, settings);
+        EXPECT_EQ(design.generator.fingerprint(), diag::die_design{}.generator.fingerprint())
+            << diag::fault_name(kind) << " must not touch the generator";
+    }
+
+    core::analyzer_settings settings;
+    diag::die_design design;
+    diag::apply_fault(diag::fault_kind::integrator_leak, 0.01, design, settings);
+    EXPECT_NEAR(1.0 - settings.evaluator.modulator.integrator_leak(), 0.01, 1e-12);
+
+    core::analyzer_settings offset_settings;
+    diag::apply_fault(diag::fault_kind::comparator_offset, 0.25, design, offset_settings);
+    EXPECT_DOUBLE_EQ(offset_settings.evaluator.modulator.comparator_offset, 0.25);
+    EXPECT_DOUBLE_EQ(offset_settings.evaluator.modulator.input_offset, 0.25);
+}
+
+TEST(FaultModel, ZeroSeverityIsANoOp) {
+    for (const auto& spec : diag::default_catalog()) {
+        diag::die_design design;
+        core::analyzer_settings settings;
+        const auto nominal = diag::die_design{};
+        diag::apply_fault(spec.kind, 0.0, design, settings);
+        EXPECT_EQ(design.generator.fingerprint(), nominal.generator.fingerprint())
+            << diag::fault_name(spec.kind);
+        EXPECT_EQ(settings.evaluator.modulator.integrator_leak(),
+                  core::analyzer_settings{}.evaluator.modulator.integrator_leak());
+        EXPECT_EQ(settings.evaluator.modulator.comparator_offset,
+                  core::analyzer_settings{}.evaluator.modulator.comparator_offset);
+    }
+}
+
+TEST(FaultModel, CapFaultDeviatesExactlyOneDrawnLevel) {
+    gen::generator_params nominal;
+    gen::generator_params faulty = nominal;
+    faulty.cap_fault_index = 2;
+    faulty.cap_fault_delta = 0.25;
+
+    const gen::sinewave_generator reference(nominal);
+    const gen::sinewave_generator injected(faulty);
+    for (std::size_t k = 1; k < gen::level_count; ++k) {
+        const double expected = k == 2 ? reference.array().level(k) * 1.25
+                                       : reference.array().level(k);
+        EXPECT_DOUBLE_EQ(injected.array().level(k), expected) << "level " << k;
+    }
+    // Same process draw otherwise: the biquad caps are untouched.
+    EXPECT_DOUBLE_EQ(injected.drawn_caps().b, reference.drawn_caps().b);
+}
+
+TEST(FaultModel, OpampDegradationMovesGainSettlingAndNonlinearity) {
+    const auto healthy = sc::opamp_params::folded_cascode_035();
+    const auto dying = healthy.degraded(0.5);
+    EXPECT_LT(dying.dc_gain_db, healthy.dc_gain_db);
+    EXPECT_GT(dying.settling_error, healthy.settling_error);
+    EXPECT_GT(dying.hd3, healthy.hd3);
+    const auto same = healthy.degraded(0.0);
+    EXPECT_DOUBLE_EQ(same.dc_gain_db, healthy.dc_gain_db);
+    EXPECT_DOUBLE_EQ(same.settling_error, healthy.settling_error);
+    EXPECT_DOUBLE_EQ(same.hd3, healthy.hd3);
+}
+
+TEST(FaultModel, LeakGainMappingInvertsIntegratorLeak) {
+    for (double leak : {1e-5, 1e-3, 0.02, 0.05}) {
+        sd::modulator_params params = sd::modulator_params::ideal();
+        params.dc_gain_db = sd::modulator_params::dc_gain_db_for_leak(leak, params.ci_over_cf);
+        // A few ulps of log10/pow round trip.
+        EXPECT_NEAR(1.0 - params.integrator_leak(), leak, leak * 1e-10);
+    }
+}
+
+TEST(FaultModel, FactoryVariesOnlyTheDutAcrossSeeds) {
+    diag::die_design design;
+    design.dut_tolerance_sigma = 0.05;
+    const auto factory = design.factory();
+    auto board_a = factory(1);
+    auto board_b = factory(2);
+    EXPECT_EQ(board_a.generator_params().fingerprint(),
+              board_b.generator_params().fingerprint());
+    EXPECT_NE(board_a.dut().ideal_response(1000.0), board_b.dut().ideal_response(1000.0));
+}
+
+} // namespace
