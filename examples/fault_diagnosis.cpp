@@ -1,17 +1,22 @@
 // Fault-trajectory diagnosis demo: build a fault dictionary on the nominal
-// die (batched lockstep build), ship it through its CSV form, inject known
-// single faults into Monte Carlo lots, and report how often the classifier
-// localizes the true fault on the dice that fail screening.
+// die (batched lockstep build, streamed with live progress), ship it
+// through its CSV form, inject known single faults into Monte Carlo lots,
+// and report how often the classifier localizes the true fault on the dice
+// that fail screening.  Every session -- the dictionary build and each
+// diagnosed lot -- runs on one shared worker pool.
 //
-//   ./fault_diagnosis [dice_per_cell] [component_sigma]
+//   ./fault_diagnosis [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/job_queue.hpp"
 #include "core/screening.hpp"
 #include "diag/classifier.hpp"
 #include "diag/diagnose.hpp"
@@ -22,6 +27,17 @@ namespace {
 
 using namespace bistna;
 
+/// Parse "--name=value" from argv; returns fallback when absent.
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::strtod(argv[i] + prefix.size(), nullptr);
+        }
+    }
+    return fallback;
+}
+
 struct cell_outcome {
     std::size_t dice = 0;
     std::size_t failing = 0;
@@ -30,11 +46,24 @@ struct cell_outcome {
     double severity_error = 0.0;
 };
 
+/// One-line live progress for a streamed lot (overwritten in place).
+diag::diagnose_progress lot_progress(const std::string& label) {
+    return [label](std::size_t completed, std::size_t total, std::size_t failing) {
+        std::cout << "\r  " << label << ": " << completed << "/" << total
+                  << " dice screened, " << failing << " failing" << std::flush;
+        if (completed == total) {
+            std::cout << "\n";
+        }
+    };
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t dice = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
-    const double sigma = argc > 2 ? std::strtod(argv[2], nullptr) : 0.02;
+    const auto dice = static_cast<std::size_t>(flag_value(argc, argv, "dice", 8.0));
+    const double sigma = flag_value(argc, argv, "sigma", 0.02);
+    const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
+    const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
 
     const diag::die_design design; // realistic 0.35 um generator, nominal DUT
     core::analyzer_settings settings;
@@ -42,12 +71,23 @@ int main(int argc, char** argv) {
     const auto catalog = diag::default_catalog();
     const auto space = diag::signature_space::from_mask(mask, /*thd_max_harmonic=*/3);
 
-    std::cout << "=== fault-trajectory diagnosis: dictionary build ===\n\n";
+    // One pool for every session this demo runs.
+    const auto queue = std::make_shared<core::job_queue>(threads);
+
+    std::cout << "=== fault-trajectory diagnosis: dictionary build (" << queue->threads()
+              << " threads x " << lanes << " lanes) ===\n\n";
     diag::trajectory_build_options build;
     build.grid_points = 9;
-    build.batch_lanes = 8;
+    build.batch_lanes = lanes;
+    build.queue = queue;
+    build.on_progress = [](std::size_t completed, std::size_t total) {
+        // Runs on worker threads; a single composed << keeps lines whole.
+        std::cout << ("\r  acquired " + std::to_string(completed) + "/" +
+                      std::to_string(total) + " severity grid points") << std::flush;
+    };
     const auto dictionary =
         diag::build_dictionary(design, settings, space, catalog, build);
+    std::cout << "\n";
 
     const std::string dictionary_path = "fault_dictionary.csv";
     dictionary.write_csv(dictionary_path);
@@ -86,6 +126,7 @@ int main(int argc, char** argv) {
     std::size_t total_top1 = 0;
     for (const auto& spec : catalog) {
         cell_outcome outcome;
+        const auto progress = lot_progress(diag::fault_name(spec.kind));
         for (double fraction : fractions) {
             const double severity =
                 spec.severity_min + fraction * (spec.severity_max - spec.severity_min);
@@ -97,7 +138,7 @@ int main(int argc, char** argv) {
             const auto diagnosed = diag::screen_and_diagnose_lot(
                 faulty.factory(), faulty_settings, mask, clf, dice,
                 /*first_seed=*/1000 + static_cast<std::uint64_t>(fraction * 1000.0),
-                /*threads=*/0, /*batch_lanes=*/8);
+                threads, lanes, progress, queue);
             outcome.dice += dice;
             for (const auto& die : diagnosed.failing) {
                 ++outcome.failing;
@@ -138,6 +179,7 @@ int main(int argc, char** argv) {
                                     static_cast<double>(outcome.top1),
                                 4)});
     }
+    std::cout << "\n";
     result_table.print(std::cout);
 
     // A fault-free control lot: failing dice here are spec marginalities,
@@ -146,7 +188,7 @@ int main(int argc, char** argv) {
     healthy.dut_tolerance_sigma = sigma;
     const auto control = diag::screen_and_diagnose_lot(
         healthy.factory(), settings, mask, clf, 4 * dice, /*first_seed=*/5000,
-        /*threads=*/0, /*batch_lanes=*/8);
+        threads, lanes, lot_progress("control lot"), queue);
     std::size_t control_no_fault = 0;
     for (const auto& die : control.failing) {
         control_no_fault += die.result.fault_detected ? 0 : 1;

@@ -2,18 +2,23 @@
 // production flow's view of the paper's test-economics pitch.  A lot of
 // process-drawn dice is screened against the 1 kHz Butterworth spec mask
 // with dice grouped into SoA modulator-bank lanes (threads x lanes in
-// lockstep); the scalar path runs the same lot for a wall-clock
+// lockstep).  The lot is submitted as an asynchronous job and consumed as
+// a stream, so yield is visible while the lot is still running; the scalar
+// path then runs the same lot on the same worker pool for a wall-clock
 // comparison, and the two are verified to agree die for die.
 //
-//   ./screening_lot [dice] [component_sigma]
+//   ./screening_lot [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/job_queue.hpp"
 #include "core/screening.hpp"
 #include "core/sweep_engine.hpp"
 #include "dut/filters.hpp"
@@ -21,6 +26,17 @@
 namespace {
 
 using namespace bistna;
+
+/// Parse "--name=value" from argv; returns fallback when absent.
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::strtod(argv[i] + prefix.size(), nullptr);
+        }
+    }
+    return fallback;
+}
 
 core::board_factory make_factory(double sigma) {
     return [sigma](std::uint64_t seed) {
@@ -31,16 +47,29 @@ core::board_factory make_factory(double sigma) {
     };
 }
 
-std::vector<core::screening_report> screen_timed(const core::board_factory& factory,
-                                                 const core::analyzer_settings& settings,
-                                                 const core::spec_mask& mask,
-                                                 std::size_t dice, std::size_t batch_lanes,
-                                                 double& seconds) {
+/// Screen the lot as a streamed job on the shared pool: pull reports as
+/// they complete, keeping a live yield line on screen.
+std::vector<core::screening_report>
+screen_streamed(const core::board_factory& factory, const core::analyzer_settings& settings,
+                const core::spec_mask& mask, std::size_t dice, std::size_t batch_lanes,
+                const std::shared_ptr<core::job_queue>& queue, double& seconds) {
     core::sweep_engine_options options;
     options.batch_lanes = batch_lanes;
+    options.queue = queue;
     core::sweep_engine engine(factory, settings, options);
+
     const auto start = std::chrono::steady_clock::now();
-    auto reports = engine.screen_batch(mask, dice, 1);
+    auto handle = engine.submit_screening(mask, dice, 1);
+    core::job_scope<core::screening_report> guard(handle);
+    std::size_t failing = 0;
+    while (auto item = handle.next_completed()) {
+        failing += item->value.passed ? 0 : 1;
+        const std::size_t done = handle.completed_items();
+        std::cout << "\r  " << (batch_lanes > 1 ? "batched" : "scalar ") << ": " << done
+                  << "/" << dice << " dice screened, " << failing << " failing" << std::flush;
+    }
+    std::cout << "\n";
+    auto reports = handle.results();
     seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return reports;
@@ -70,8 +99,10 @@ bool reports_identical(const std::vector<core::screening_report>& a,
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t dice = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
-    const double sigma = argc > 2 ? std::strtod(argv[2], nullptr) : 0.03;
+    const auto dice = static_cast<std::size_t>(flag_value(argc, argv, "dice", 64.0));
+    const double sigma = flag_value(argc, argv, "sigma", 0.03);
+    const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
+    const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
 
     // Production-flow settings: calibrated offset handling, default
     // 200-period acquisitions -- every die pays the grounded calibration
@@ -80,17 +111,24 @@ int main(int argc, char** argv) {
     const auto mask = core::spec_mask::paper_lowpass();
     const auto factory = make_factory(sigma);
 
-    std::cout << "=== Monte Carlo lot screening: " << dice << " dice, "
-              << sigma * 100.0 << " % components ===\n\n";
+    // One worker pool serves both sessions below (and could serve any
+    // number of concurrent lots).
+    const auto queue = std::make_shared<core::job_queue>(threads);
+
+    std::cout << "=== Monte Carlo lot screening: " << dice << " dice, " << sigma * 100.0
+              << " % components, " << queue->threads() << " threads x " << lanes
+              << " lanes ===\n\n";
 
     double batched_seconds = 0.0;
-    const auto reports = screen_timed(factory, settings, mask, dice, 8, batched_seconds);
+    const auto reports =
+        screen_streamed(factory, settings, mask, dice, lanes, queue, batched_seconds);
     double scalar_seconds = 0.0;
-    const auto scalar_reports = screen_timed(factory, settings, mask, dice, 1, scalar_seconds);
+    const auto scalar_reports =
+        screen_streamed(factory, settings, mask, dice, 1, queue, scalar_seconds);
     const bool identical = reports_identical(reports, scalar_reports);
     const auto lot = core::aggregate_lot(reports);
 
-    std::cout << "yield: " << lot.passed << "/" << lot.dice << " ("
+    std::cout << "\nyield: " << lot.passed << "/" << lot.dice << " ("
               << format_fixed(100.0 * lot.yield(), 1) << " %)\n\n";
 
     std::cout << "per-limit measured-gain distributions across the lot (dB):\n";
@@ -107,8 +145,8 @@ int main(int argc, char** argv) {
     limits_table.print(std::cout);
 
     std::cout << "\nwall clock: " << format_fixed(batched_seconds * 1e3, 1)
-              << " ms batched (8 bank lanes) vs " << format_fixed(scalar_seconds * 1e3, 1)
-              << " ms scalar -- "
+              << " ms batched (" << lanes << " bank lanes) vs "
+              << format_fixed(scalar_seconds * 1e3, 1) << " ms scalar -- "
               << format_fixed(scalar_seconds / batched_seconds, 2)
               << "x from lockstep evaluation, reports "
               << (identical ? "bit-identical" : "DIVERGED") << "\n";

@@ -1,0 +1,101 @@
+#include "core/job_queue.hpp"
+
+namespace bistna::core {
+
+const char* job_state_name(job_state state) noexcept {
+    switch (state) {
+    case job_state::running:
+        return "running";
+    case job_state::succeeded:
+        return "succeeded";
+    case job_state::cancelled:
+        return "cancelled";
+    case job_state::failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+    if (threads != 0) {
+        return threads;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+} // namespace
+
+job_queue::job_queue(std::size_t threads) : threads_(resolve_threads(threads)) {}
+
+job_queue::~job_queue() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Cancel whatever has not started: the remaining tasks still run
+        // (each is a cheap skip under the cancel flag), so every channel
+        // accounts for all of its items and every handle reaches a
+        // terminal state -- nothing blocks forever on a dropped queue.
+        for (const auto& job : jobs_) {
+            job->request_cancel();
+        }
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+std::size_t job_queue::jobs_submitted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+std::size_t job_queue::jobs_pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+void job_queue::enqueue(std::shared_ptr<detail::job_record> record) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BISTNA_EXPECTS(!stopping_, "submit on a destroyed job_queue");
+        ++submitted_;
+        jobs_.push_back(std::move(record));
+        // Lazy spawn: a queue that never receives work never starts a
+        // thread (many tests construct engines they use once or not at
+        // all).  The pool is sized once and never shrinks until
+        // destruction.
+        while (workers_.size() < threads_) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+    work_cv_.notify_all();
+}
+
+void job_queue::worker_loop() {
+    for (;;) {
+        std::shared_ptr<detail::job_record> job;
+        std::size_t task = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                return; // stopping and drained
+            }
+            // Jobs drain in submission order; concurrent jobs interleave
+            // only when the front job has no unclaimed tasks left (its
+            // tail may still be in flight on other workers).
+            job = jobs_.front();
+            task = job->next_task++;
+            if (job->next_task == job->task_count) {
+                jobs_.pop_front();
+            }
+        }
+        job->run_task(task);
+    }
+}
+
+} // namespace bistna::core

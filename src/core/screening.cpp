@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -123,12 +124,35 @@ lot_result screen_lot_parallel(const board_factory& factory,
     engine_options.threads = threads;
     engine_options.batch_lanes = batch_lanes;
     sweep_engine engine(factory, settings, engine_options);
-    const auto reports = engine.screen_batch(mask, dice, first_seed, options);
-    if (on_report) {
-        for (std::size_t die = 0; die < reports.size(); ++die) {
-            on_report(die, reports[die]);
+    if (!on_report) {
+        return aggregate_lot(engine.screen_batch(mask, dice, first_seed, options));
+    }
+
+    // Streaming consumption: pull reports as workers complete them and
+    // emit the hook for the in-order prefix, so the observer sees dice in
+    // die order *while the lot is still running* (a die is held back only
+    // as long as a lower-numbered one is in flight).
+    auto handle = engine.submit_screening(mask, dice, first_seed, options);
+    // A throwing hook must not unwind the engine out from under the job.
+    job_scope<screening_report> guard(handle);
+    std::vector<screening_report> reports(dice);
+    std::vector<char> completed(dice, 0);
+    std::size_t next_to_emit = 0;
+    while (auto item = handle.next_completed()) {
+        reports[item->index] = std::move(item->value);
+        completed[item->index] = 1;
+        while (next_to_emit < dice && completed[next_to_emit]) {
+            on_report(next_to_emit, reports[next_to_emit]);
+            ++next_to_emit;
         }
     }
+    if (auto error = handle.error()) {
+        std::rethrow_exception(error);
+    }
+    // A cancelled lot (e.g. a shared queue torn down mid-flight) must not
+    // aggregate never-measured dice as real failures.
+    BISTNA_EXPECTS(handle.state() == job_state::succeeded,
+                   "screening lot was cancelled before every die completed");
     return aggregate_lot(reports);
 }
 

@@ -1,14 +1,9 @@
 #include "core/sweep_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <exception>
-#include <mutex>
-#include <optional>
 #include <span>
-#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -17,63 +12,6 @@
 
 namespace bistna::core {
 
-namespace {
-
-/// Run fn(0..count-1) on `threads` workers pulling indices from a shared
-/// atomic counter.  Results must be written to per-index slots by fn; the
-/// first exception thrown by any worker is rethrown on the caller after all
-/// workers have drained.  threads == 1 runs inline (serial fallback).
-template <typename Fn>
-void run_batch(std::size_t count, std::size_t threads, Fn&& fn) {
-    if (count == 0) {
-        return;
-    }
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < count; ++i) {
-            fn(i);
-        }
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count) {
-                return;
-            }
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-                next.store(count, std::memory_order_relaxed); // drain remaining work
-                return;
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    const std::size_t spawned = std::min(threads, count);
-    pool.reserve(spawned);
-    for (std::size_t t = 0; t < spawned; ++t) {
-        pool.emplace_back(worker);
-    }
-    for (auto& thread : pool) {
-        thread.join();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
-}
-
-} // namespace
-
 std::uint64_t sweep_item_seed(std::uint64_t base_seed, std::size_t index) noexcept {
     // The item's position in the seed stream is just a stream id.
     return derive_stream_seed(base_seed, static_cast<std::uint64_t>(index));
@@ -81,8 +19,10 @@ std::uint64_t sweep_item_seed(std::uint64_t base_seed, std::size_t index) noexce
 
 sweep_engine::sweep_engine(board_factory factory, analyzer_settings settings,
                            sweep_engine_options options)
-    : factory_(std::move(factory)), settings_(settings), options_(options) {
+    : factory_(std::move(factory)), settings_(settings), options_(std::move(options)) {
     BISTNA_EXPECTS(factory_ != nullptr, "sweep engine requires a board factory");
+    queue_ = options_.queue ? options_.queue
+                            : std::make_shared<job_queue>(options_.threads);
     if (options_.share_stimulus) {
         // A screening batch holds threads x batch_lanes dice in flight at
         // once; keep the FIFO large enough that no group's records are
@@ -107,24 +47,74 @@ stimulus_cache_stats sweep_engine::stimulus_stats() const {
 }
 
 std::size_t sweep_engine::resolved_threads() const noexcept {
-    if (options_.threads != 0) {
-        return options_.threads;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    return queue_->threads();
 }
 
-sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
-                               std::uint64_t board_seed) {
-    BISTNA_EXPECTS(!frequencies.empty(), "sweep requires at least one frequency");
+// --- Bode sessions ---------------------------------------------------------
 
-    const std::size_t threads = resolved_threads();
-    const auto start = std::chrono::steady_clock::now();
+namespace {
+
+/// Job-lifetime state of a submitted Bode batch, shared by every task
+/// closure (the handle may outlive the submitting frame).
+struct bode_job {
+    std::vector<hertz> frequencies;
+    std::uint64_t board_seed = 0;
+    std::optional<stimulus_calibration> calibration;
+};
+
+} // namespace
+
+frequency_point sweep_engine::bode_point(hertz f, std::uint64_t board_seed,
+                                         const std::optional<stimulus_calibration>& calibration,
+                                         std::size_t index) {
+    demonstrator_board board = make_board(board_seed);
+    analyzer_settings point_settings = settings_;
+    point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, index + 1);
+    network_analyzer analyzer(board, point_settings);
+    if (calibration) {
+        analyzer.set_calibration(*calibration);
+    }
+    return analyzer.measure_point(f);
+}
+
+void sweep_engine::bode_group(const std::vector<hertz>& frequencies,
+                              std::uint64_t board_seed,
+                              const stimulus_calibration& calibration, std::size_t first,
+                              std::size_t count, frequency_point* out) {
+    // Lockstep lanes: a group of points renders its records (scalar,
+    // cache-shared) and acquires them through one SoA modulator bank.
+    // Per-point seeds and arithmetic match the scalar path exactly.
+    std::vector<demonstrator_board> boards;
+    boards.reserve(count);
+    std::vector<eval::evaluator_config> configs(count, settings_.evaluator);
+    std::vector<std::vector<double>> records(count);
+    std::vector<std::span<const double>> spans(count);
+    for (std::size_t l = 0; l < count; ++l) {
+        boards.push_back(make_board(board_seed));
+        configs[l].seed = sweep_item_seed(options_.base_seed, first + l + 1);
+        const auto tb = sim::timebase::for_wave_frequency(frequencies[first + l]);
+        records[l] = boards[l].render(tb, settings_.periods, signal_path::through_dut,
+                                      settings_.settle_periods);
+        spans[l] = records[l];
+    }
+    eval::batch_evaluator evaluators(std::move(configs));
+    const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
+    for (std::size_t l = 0; l < count; ++l) {
+        out[l] = assemble_frequency_point(frequencies[first + l], calibration, outputs[l],
+                                          settings_.hold_compensation, boards[l].dut());
+    }
+}
+
+job_handle<frequency_point>
+sweep_engine::submit_bode(std::vector<hertz> frequencies, std::uint64_t board_seed,
+                          job_handle<frequency_point>::item_callback on_point) {
+    BISTNA_EXPECTS(!frequencies.empty(), "sweep requires at least one frequency");
 
     // One-time calibration, shared by every point.  The system is
     // clock-normalized, so this is exactly the paper's single calibration;
     // performing it with the batch's base seed keeps it independent of the
-    // per-point seeds and of scheduling.
+    // per-point seeds and of scheduling.  It runs here, on the submitting
+    // thread, so every streamed point is a pure per-index function.
     std::optional<stimulus_calibration> shared_calibration;
     if (options_.share_calibration && !settings_.recalibrate_per_point) {
         demonstrator_board board = make_board(board_seed);
@@ -134,55 +124,36 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
         shared_calibration = analyzer.calibrate();
     }
 
-    sweep_report report;
-    report.points.resize(frequencies.size());
-    report.threads_used = threads;
-
     const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
-    if (lanes > 1 && shared_calibration) {
-        // Lockstep lanes: a group of points renders its records (scalar,
-        // cache-shared) and acquires them through one SoA modulator bank.
-        // Per-point seeds and arithmetic match the scalar path exactly.
-        const std::size_t groups = (frequencies.size() + lanes - 1) / lanes;
-        run_batch(groups, threads, [&](std::size_t g) {
-            const std::size_t first = g * lanes;
-            const std::size_t count = std::min(lanes, frequencies.size() - first);
-
-            std::vector<demonstrator_board> boards;
-            boards.reserve(count);
-            std::vector<eval::evaluator_config> configs(count, settings_.evaluator);
-            std::vector<std::vector<double>> records(count);
-            std::vector<std::span<const double>> spans(count);
+    // Lockstep lanes apply only with a shared calibration
+    // (recalibrate_per_point falls back to the scalar path).
+    const bool lockstep = lanes > 1 && shared_calibration.has_value();
+    auto job = std::make_shared<const bode_job>(
+        bode_job{std::move(frequencies), board_seed, std::move(shared_calibration)});
+    return queue_->submit<frequency_point>(
+        job->frequencies.size(), lockstep ? lanes : 1,
+        [this, job, lockstep](std::size_t first, std::size_t count, frequency_point* out) {
+            if (lockstep) {
+                bode_group(job->frequencies, job->board_seed, *job->calibration, first,
+                           count, out);
+                return;
+            }
             for (std::size_t l = 0; l < count; ++l) {
-                boards.push_back(make_board(board_seed));
-                configs[l].seed = sweep_item_seed(options_.base_seed, first + l + 1);
-                const auto tb = sim::timebase::for_wave_frequency(frequencies[first + l]);
-                records[l] = boards[l].render(tb, settings_.periods,
-                                              signal_path::through_dut,
-                                              settings_.settle_periods);
-                spans[l] = records[l];
+                out[l] = bode_point(job->frequencies[first + l], job->board_seed,
+                                    job->calibration, first + l);
             }
-            eval::batch_evaluator evaluators(std::move(configs));
-            const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
-            for (std::size_t l = 0; l < count; ++l) {
-                report.points[first + l] = assemble_frequency_point(
-                    frequencies[first + l], *shared_calibration, outputs[l],
-                    settings_.hold_compensation, boards[l].dut());
-            }
-        });
-    } else {
-        run_batch(frequencies.size(), threads, [&](std::size_t i) {
-            demonstrator_board board = make_board(board_seed);
-            analyzer_settings point_settings = settings_;
-            point_settings.evaluator.seed = sweep_item_seed(options_.base_seed, i + 1);
-            network_analyzer analyzer(board, point_settings);
-            if (shared_calibration) {
-                analyzer.set_calibration(*shared_calibration);
-            }
-            report.points[i] = analyzer.measure_point(frequencies[i]);
-        });
-    }
+        },
+        std::move(on_point));
+}
 
+sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
+                               std::uint64_t board_seed) {
+    const auto start = std::chrono::steady_clock::now();
+    auto handle = submit_bode(frequencies, board_seed);
+
+    sweep_report report;
+    report.points = std::move(handle).results();
+    report.threads_used = resolved_threads();
     report.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
@@ -204,42 +175,67 @@ sweep_report sweep_engine::run(const std::vector<hertz>& frequencies,
     return report;
 }
 
+// --- Screening sessions ----------------------------------------------------
+
+namespace {
+
+/// Job-lifetime state of a submitted screening lot.
+struct screening_job {
+    spec_mask mask;
+    screening_options screening;
+    std::uint64_t first_seed = 0;
+};
+
+} // namespace
+
+job_handle<screening_report>
+sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
+                               std::uint64_t first_seed, const screening_options& screening,
+                               job_handle<screening_report>::item_callback on_report) {
+    BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
+    BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
+
+    auto job = std::make_shared<const screening_job>(
+        screening_job{mask, screening, first_seed});
+    const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
+    if (lanes > 1) {
+        // Lockstep lanes: each task screens a contiguous group of dice
+        // through one SoA modulator bank (threads x lanes dice in flight).
+        return queue_->submit<screening_report>(
+            dice, lanes,
+            [this, job](std::size_t first, std::size_t count, screening_report* out) {
+                screen_group(job->mask, job->screening, job->first_seed + first, count, out);
+            },
+            std::move(on_report));
+    }
+    return queue_->submit<screening_report>(
+        dice, 1,
+        [this, job](std::size_t first, std::size_t count, screening_report* out) {
+            for (std::size_t l = 0; l < count; ++l) {
+                // Same per-die construction as the sequential
+                // core::screen_lot: the die's identity comes solely from its
+                // factory seed, so the batch is bit-identical to the serial
+                // loop (the shared stimulus cache keys on the generator
+                // design fingerprint, so a record is reused across dice only
+                // when their stimulus is genuinely identical).
+                demonstrator_board board = make_board(job->first_seed + first + l);
+                network_analyzer analyzer(board, settings_);
+                out[l] = screen(analyzer, job->mask, job->screening);
+            }
+        },
+        std::move(on_report));
+}
+
 std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
                                                          std::size_t dice,
                                                          std::uint64_t first_seed,
                                                          const screening_options& screening) {
-    BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
-
-    std::vector<screening_report> reports(dice);
-    const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
-    if (lanes > 1) {
-        // Lockstep lanes: each work item screens a contiguous group of dice
-        // through one SoA modulator bank (threads x lanes dice in flight).
-        const std::size_t groups = (dice + lanes - 1) / lanes;
-        run_batch(groups, resolved_threads(), [&](std::size_t g) {
-            const std::size_t first = g * lanes;
-            screen_group(mask, screening, first_seed + first,
-                         std::min(lanes, dice - first), &reports[first]);
-        });
-        return reports;
-    }
-    run_batch(dice, resolved_threads(), [&](std::size_t die) {
-        // Same per-die construction as the sequential core::screen_lot: the
-        // die's identity comes solely from its factory seed, so the batch is
-        // bit-identical to the serial loop (the shared stimulus cache keys
-        // on the generator design fingerprint, so a record is reused across
-        // dice only when their stimulus is genuinely identical).
-        demonstrator_board board = make_board(first_seed + die);
-        network_analyzer analyzer(board, settings_);
-        reports[die] = screen(analyzer, mask, screening);
-    });
-    return reports;
+    return submit_screening(mask, dice, first_seed, screening).results();
 }
 
 void sweep_engine::screen_group(const spec_mask& mask, const screening_options& screening,
                                 std::uint64_t first_seed, std::size_t count,
                                 screening_report* reports) {
-    BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
     BISTNA_EXPECTS(count > 0, "lane group must contain at least one die");
 
     std::vector<demonstrator_board> boards;
@@ -347,6 +343,8 @@ lot_result sweep_engine::screen_lot(const spec_mask& mask, std::size_t dice,
     return aggregate_lot(screen_batch(mask, dice, first_seed, screening));
 }
 
+// --- Generic acquisition sessions ------------------------------------------
+
 namespace {
 
 /// Render one acquisition stage for one item, deduplicated through the
@@ -376,34 +374,58 @@ eval::sample_source as_shared_source(stimulus_cache::record_ptr record) {
     return [record = std::move(record)](std::size_t n) { return (*record)[n]; };
 }
 
+/// Job-lifetime state of a submitted acquisition batch: the items and
+/// program (owned, so the caller's copies can die) plus the render share
+/// for keyed items -- one entry per (render key, stage), alive exactly as
+/// long as some task closure still references the job.
+struct acquisition_job {
+    acquisition_job(std::vector<core::sweep_engine::acquisition_item> items_,
+                    core::sweep_engine::acquisition_program program_)
+        : items(std::move(items_)), program(std::move(program_)),
+          shared_records(
+              std::max<std::size_t>(64, 2 * (program.frequencies.size() + 2))) {}
+
+    std::vector<core::sweep_engine::acquisition_item> items;
+    core::sweep_engine::acquisition_program program;
+    stimulus_cache shared_records; ///< thread-safe render-once share
+};
+
 } // namespace
 
-std::vector<sweep_engine::acquisition_result> sweep_engine::acquire(
-    const std::vector<acquisition_item>& items, const acquisition_program& program) {
+job_handle<sweep_engine::acquisition_result>
+sweep_engine::submit_acquisition(std::vector<acquisition_item> items,
+                                 acquisition_program program,
+                                 job_handle<acquisition_result>::item_callback on_result) {
     BISTNA_EXPECTS(!items.empty(), "acquisition batch must contain at least one item");
     BISTNA_EXPECTS(!program.frequencies.empty(),
                    "acquisition program must measure at least one frequency");
 
-    // Render share for keyed items, alive for this batch: one entry per
-    // (render key, stage).
-    stimulus_cache shared_records(
-        std::max<std::size_t>(64, 2 * (program.frequencies.size() + 2)));
-
-    std::vector<acquisition_result> results(items.size());
+    auto job = std::make_shared<acquisition_job>(std::move(items), std::move(program));
+    const std::size_t count = job->items.size();
     const std::size_t lanes = std::max<std::size_t>(1, options_.batch_lanes);
     if (lanes > 1) {
-        const std::size_t groups = (items.size() + lanes - 1) / lanes;
-        run_batch(groups, resolved_threads(), [&](std::size_t g) {
-            const std::size_t first = g * lanes;
-            acquire_group(items, program, first, std::min(lanes, items.size() - first),
-                          &results[first], shared_records);
-        });
-        return results;
+        return queue_->submit<acquisition_result>(
+            count, lanes,
+            [this, job](std::size_t first, std::size_t n, acquisition_result* out) {
+                acquire_group(job->items, job->program, first, n, out,
+                              job->shared_records);
+            },
+            std::move(on_result));
     }
-    run_batch(items.size(), resolved_threads(), [&](std::size_t i) {
-        results[i] = acquire_scalar(items[i], program, shared_records);
-    });
-    return results;
+    return queue_->submit<acquisition_result>(
+        count, 1,
+        [this, job](std::size_t first, std::size_t n, acquisition_result* out) {
+            for (std::size_t l = 0; l < n; ++l) {
+                out[l] = acquire_scalar(job->items[first + l], job->program,
+                                        job->shared_records);
+            }
+        },
+        std::move(on_result));
+}
+
+std::vector<sweep_engine::acquisition_result> sweep_engine::acquire(
+    const std::vector<acquisition_item>& items, const acquisition_program& program) {
+    return submit_acquisition(items, program).results();
 }
 
 sweep_engine::acquisition_result sweep_engine::acquire_scalar(
@@ -449,6 +471,7 @@ sweep_engine::acquisition_result sweep_engine::acquire_scalar(
         const auto record = render_stage(
             board, shared_records, item.render_key, 1 + program.frequencies.size(), tb,
             settings_.distortion_periods, signal_path::through_dut, settings_.settle_periods);
+        result.has_thd = true;
         result.thd_db = evaluator
                             .measure_thd(as_shared_source(record),
                                          program.distortion_max_harmonic,
@@ -521,6 +544,7 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
         const auto thd = evaluators.measure_thd(spans, program.distortion_max_harmonic,
                                                 settings_.distortion_periods);
         for (std::size_t l = 0; l < count; ++l) {
+            results[l].has_thd = true;
             results[l].thd_db = thd[l].db;
         }
     }

@@ -12,28 +12,47 @@
 //     with splitmix64, never from scheduling order;
 //   * results land in a pre-sized slot per item.
 //
-// Consequently the output is bit-identical at any thread count, including
-// the serial fallback (threads = 1), which is just the same loop without
-// workers.  `screen_lot` here matches the sequential core::screen_lot
-// exactly, so the two can be cross-checked in tests.
+// Consequently the output is bit-identical at any thread count.
+// `screen_lot` here matches the sequential core::screen_lot exactly, so
+// the two can be cross-checked in tests.
+//
+// Since the job-queue redesign the engine is session-shaped: work enters
+// through submit_bode / submit_screening / submit_acquisition, which
+// return immediately with a streaming job_handle (pull completed items
+// with next_completed(), or attach a per-item callback; progress counters,
+// cooperative cancellation and worker-exception capture come with it).
+// The historical blocking entrypoints (run, screen_batch, screen_lot,
+// acquire) are thin synchronous wrappers -- submit one job, wait for its
+// results -- and stay bit-identical to what they always returned.  Many
+// engines can share one core::job_queue (options.queue), so concurrent
+// sessions never oversubscribe the machine; the engine must outlive the
+// jobs it has submitted.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/statistics.hpp"
 #include "common/units.hpp"
+#include "core/job_queue.hpp"
 #include "core/screening.hpp"
 #include "core/stimulus_cache.hpp"
 
 namespace bistna::core {
 
 struct sweep_engine_options {
-    /// Worker threads; 0 picks std::thread::hardware_concurrency() and 1 is
-    /// the serial fallback (no threads are spawned).
+    /// Worker threads of the engine's own pool; 0 picks
+    /// std::thread::hardware_concurrency().  Ignored when `queue` is set.
     std::size_t threads = 0;
+    /// Run jobs on this shared pool instead of a private one: any number
+    /// of engines (concurrent Bode sessions, screening lots, dictionary
+    /// builds) then draw from one set of workers.  Null gives the engine a
+    /// private queue sized by `threads`.
+    std::shared_ptr<job_queue> queue = nullptr;
     /// Root of the per-point evaluator seed stream for Bode batches.
     std::uint64_t base_seed = 0x5EEDBA7C4E57ULL;
     /// Calibrate the stimulus once up front and inject the result into every
@@ -140,14 +159,53 @@ public:
         stimulus_calibration calibration;
         double offset_rate = 0.0; ///< calibrated in-phase offset count rate
         std::vector<frequency_point> points; ///< one per program frequency
-        double thd_db = 0.0; ///< valid when the program measured distortion
+        /// True when the program measured distortion; thd_db is NaN (never
+        /// a fake 0 dB reading) until then.
+        bool has_thd = false;
+        double thd_db = std::numeric_limits<double>::quiet_NaN();
     };
 
     std::vector<acquisition_result> acquire(const std::vector<acquisition_item>& items,
                                             const acquisition_program& program);
 
-    /// Worker count a batch will actually use (resolves threads = 0).
+    // --- Streaming sessions ----------------------------------------------
+    //
+    // The asynchronous forms of the three batch shapes above: submit
+    // returns as soon as the job is on the queue, and the handle streams
+    // items as workers complete them.  Every item is bit-identical to the
+    // synchronous path's slot at any {threads, batch_lanes} combination
+    // and any completion order (seeds derive from the item index via
+    // sweep_item_seed, never from scheduling).  The engine must outlive
+    // the handles' jobs; the optional callback runs on worker threads.
+
+    /// Bode batch: item i is frequencies[i] measured on the board drawn
+    /// with `board_seed`.  When the engine shares calibration (the
+    /// default), the one-time calibration runs synchronously here -- on
+    /// the caller's thread, exactly as the blocking run() did -- and every
+    /// streamed point reuses it.
+    job_handle<frequency_point>
+    submit_bode(std::vector<hertz> frequencies, std::uint64_t board_seed = 1,
+                job_handle<frequency_point>::item_callback on_point = nullptr);
+
+    /// Screening lot: item i is the report of die seed first_seed + i.
+    job_handle<screening_report>
+    submit_screening(const spec_mask& mask, std::size_t dice, std::uint64_t first_seed = 1,
+                     const screening_options& screening = {},
+                     job_handle<screening_report>::item_callback on_report = nullptr);
+
+    /// Generic lockstep acquisition: item i is items[i] run through the
+    /// program.  The items (and their board factories) are owned by the
+    /// job, so the caller may drop its copies immediately.
+    job_handle<acquisition_result>
+    submit_acquisition(std::vector<acquisition_item> items, acquisition_program program,
+                       job_handle<acquisition_result>::item_callback on_result = nullptr);
+
+    /// Worker count a batch will actually use (the shared or private
+    /// pool's thread count).
     std::size_t resolved_threads() const noexcept;
+
+    /// The pool this engine's jobs run on.
+    const std::shared_ptr<job_queue>& queue() const noexcept { return queue_; }
 
     const sweep_engine_options& options() const noexcept { return options_; }
 
@@ -159,6 +217,18 @@ public:
 private:
     /// Build the work item's board and attach the shared cache to it.
     demonstrator_board make_board(std::uint64_t seed) const;
+
+    /// One Bode point on the scalar analyzer path (the per-item unit of a
+    /// submitted Bode job without lockstep lanes).
+    frequency_point bode_point(hertz f, std::uint64_t board_seed,
+                               const std::optional<stimulus_calibration>& calibration,
+                               std::size_t index);
+
+    /// A lane group of Bode points through one SoA modulator bank (the
+    /// shared-calibration lockstep path), points written to out[0..count).
+    void bode_group(const std::vector<hertz>& frequencies, std::uint64_t board_seed,
+                    const stimulus_calibration& calibration, std::size_t first,
+                    std::size_t count, frequency_point* out);
 
     /// Batched-lane screening of dice [first_seed, first_seed + count):
     /// one board per lane, one lockstep batch evaluator, reports written to
@@ -190,6 +260,10 @@ private:
     analyzer_settings settings_;
     sweep_engine_options options_;
     std::shared_ptr<stimulus_cache> stimulus_cache_;
+    /// Declared last on purpose: a private queue's destructor cancels and
+    /// joins in-flight jobs whose closures use the members above, so it
+    /// must be destroyed (= workers joined) before any of them.
+    std::shared_ptr<job_queue> queue_;
 };
 
 /// Seed for work item `index` of a batch rooted at `base_seed` (splitmix64

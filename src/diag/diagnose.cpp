@@ -1,23 +1,65 @@
 #include "diag/diagnose.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/sweep_engine.hpp"
+
 namespace bistna::diag {
 
 diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
                                       const core::analyzer_settings& settings,
                                       const core::spec_mask& mask, const classifier& clf,
                                       std::size_t dice, std::uint64_t first_seed,
-                                      std::size_t threads, std::size_t batch_lanes) {
+                                      std::size_t threads, std::size_t batch_lanes,
+                                      const diagnose_progress& on_progress,
+                                      std::shared_ptr<core::job_queue> queue) {
     const core::screening_options options = clf.dictionary().space.screening_options();
+
+    core::sweep_engine_options engine_options;
+    engine_options.threads = threads;
+    engine_options.batch_lanes = batch_lanes;
+    engine_options.queue = std::move(queue);
+    core::sweep_engine engine(factory, settings, engine_options);
+    auto handle = engine.submit_screening(mask, dice, first_seed, options);
+    // If the classifier or the observer below throws, the engine must not
+    // unwind while workers on a shared queue still run its job.
+    core::job_scope<core::screening_report> guard(handle);
+
+    // Consume the report stream: each failing die is classified here, on
+    // the calling thread, as soon as its report completes -- diagnosis of
+    // early dice overlaps measurement of late ones, and a progress
+    // observer sees the lot fill in mid-flight.  The aggregation below
+    // uses index-addressed slots, so the outcome is independent of
+    // completion order.
     diagnosed_lot result;
-    result.lot = core::screen_lot_parallel(
-        factory, settings, mask, dice, first_seed, threads, batch_lanes, options,
-        [&](std::size_t die, const core::screening_report& report) {
-            if (report.passed) {
-                return;
-            }
+    std::vector<core::screening_report> reports(dice);
+    std::size_t completed = 0;
+    while (auto item = handle.next_completed()) {
+        if (!item->value.passed) {
             result.failing.push_back(
-                diagnosed_die{die, report, clf.classify_report(report)});
-        });
+                diagnosed_die{item->index, item->value, clf.classify_report(item->value)});
+        }
+        reports[item->index] = std::move(item->value);
+        ++completed;
+        if (on_progress) {
+            on_progress(completed, dice, result.failing.size());
+        }
+    }
+    if (auto error = handle.error()) {
+        std::rethrow_exception(error);
+    }
+    // A cancelled lot (e.g. a shared queue torn down mid-flight) must not
+    // aggregate never-measured dice as real failures.
+    BISTNA_EXPECTS(handle.state() == core::job_state::succeeded,
+                   "diagnosed lot was cancelled before every die completed");
+
+    // Failing dice were collected in completion order; the contract (and
+    // every downstream table) wants die order.
+    std::sort(result.failing.begin(), result.failing.end(),
+              [](const diagnosed_die& a, const diagnosed_die& b) { return a.die < b.die; });
+    result.lot = core::aggregate_lot(reports);
     return result;
 }
 

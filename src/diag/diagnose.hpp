@@ -1,13 +1,16 @@
-// Screening with diagnosis attached: the production entry point that runs
-// core::screen_lot_parallel in diagnostic mode and hands every failing
-// die's report to the classifier through the per-die report hook -- the
-// classifier's input comes straight out of the screening reports, no
-// re-measuring.
+// Screening with diagnosis attached: the production entry point that
+// submits a diagnostic screening job to the sweep engine and consumes the
+// report stream -- every failing die is classified the moment its report
+// lands, while the rest of the lot is still measuring.  The classifier's
+// input comes straight out of the screening reports, no re-measuring.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/job_queue.hpp"
 #include "core/screening.hpp"
 #include "diag/classifier.hpp"
 
@@ -24,14 +27,24 @@ struct diagnosed_lot {
     std::vector<diagnosed_die> failing; ///< every failing die, in die order
 };
 
+/// Mid-lot observer: invoked on the calling thread, in completion order,
+/// after each die's report (and, for a failing die, its diagnosis) is in.
+/// `failing` counts failing dice seen so far.
+using diagnose_progress = std::function<void(std::size_t completed, std::size_t total,
+                                             std::size_t failing)>;
+
 /// Screen `dice` process draws with the diagnostic options the
 /// classifier's dictionary space requires, attach a diagnosis to every
 /// failing die.  Same seeding / determinism guarantees as
-/// core::screen_lot_parallel.
+/// core::screen_lot_parallel: the diagnosed lot is bit-identical at any
+/// thread/lane count and any completion order.  `queue` optionally runs
+/// the lot on a shared pool (e.g. alongside a dictionary build).
 diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
                                       const core::analyzer_settings& settings,
                                       const core::spec_mask& mask, const classifier& clf,
                                       std::size_t dice, std::uint64_t first_seed = 1,
-                                      std::size_t threads = 0, std::size_t batch_lanes = 1);
+                                      std::size_t threads = 0, std::size_t batch_lanes = 1,
+                                      const diagnose_progress& on_progress = nullptr,
+                                      std::shared_ptr<core::job_queue> queue = nullptr);
 
 } // namespace bistna::diag

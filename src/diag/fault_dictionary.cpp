@@ -276,6 +276,11 @@ std::vector<double> signature_space::from_acquisition(
         }
     }
     if (thd_max_harmonic >= 2) {
+        if (!result.has_thd) {
+            throw configuration_error(
+                "signature_space: acquisition measured no THD (program must set "
+                "distortion_max_harmonic >= 2)");
+        }
         signature.push_back(sanitize_db(result.thd_db, thd_clamp_db));
     }
     return signature;

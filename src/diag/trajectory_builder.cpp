@@ -1,6 +1,9 @@
 #include "diag/trajectory_builder.hpp"
 
+#include <atomic>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
@@ -95,6 +98,7 @@ fault_dictionary build_dictionary(const die_design& design,
     core::sweep_engine_options engine_options;
     engine_options.threads = options.threads;
     engine_options.batch_lanes = options.batch_lanes;
+    engine_options.queue = options.queue;
     core::sweep_engine engine(design.factory(), settings, engine_options);
 
     core::sweep_engine::acquisition_program program;
@@ -107,7 +111,20 @@ fault_dictionary build_dictionary(const die_design& design,
         program.distortion_f = hertz{space.resolved_thd_f_hz()};
     }
 
-    const auto results = engine.acquire(items, program);
+    // Streamed build: grid points complete in scheduling order and report
+    // progress as they land; the dictionary below is assembled from the
+    // index-addressed slots, so it is bit-identical to the blocking build.
+    core::job_handle<core::sweep_engine::acquisition_result>::item_callback on_item;
+    if (options.on_progress) {
+        auto completed = std::make_shared<std::atomic<std::size_t>>(0);
+        on_item = [completed, total = items.size(), progress = options.on_progress](
+                      std::size_t, const core::sweep_engine::acquisition_result&) {
+            progress(completed->fetch_add(1, std::memory_order_relaxed) + 1, total);
+        };
+    }
+    const auto results =
+        engine.submit_acquisition(std::move(items), std::move(program), std::move(on_item))
+            .results();
 
     fault_dictionary dictionary;
     dictionary.space = space;

@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/job_queue.hpp"
 #include "core/network_analyzer.hpp"
 #include "diag/fault_dictionary.hpp"
 #include "diag/fault_model.hpp"
@@ -29,6 +32,15 @@ struct trajectory_build_options {
     /// Root of the per-grid-point evaluator seed stream (item seeds are
     /// derived per index, so the build is scheduling-independent).
     std::uint64_t eval_seed_base = 0xD1A65EEDULL;
+    /// Optional progress observer of the streamed build: invoked as each
+    /// grid-point acquisition completes with (completed, total).  Runs on
+    /// the engine's worker threads, so it must be thread-safe; progress
+    /// never changes the built dictionary.
+    std::function<void(std::size_t completed, std::size_t total)> on_progress;
+    /// Run the build on this shared pool instead of a private one (e.g.
+    /// one pool serving a dictionary build and a screening lot at once);
+    /// null gives the build its own pool sized by `threads`.
+    std::shared_ptr<core::job_queue> queue = nullptr;
 };
 
 /// Build the dictionary: one healthy acquisition plus grid_points

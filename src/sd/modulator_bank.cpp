@@ -74,8 +74,11 @@ inline double advance_lane(const lane_view& v, bistna::rng* rngs, std::size_t l,
 // Runtime-dispatched AVX2 clones where the toolchain supports them: AVX2
 // widens the lane vectors to 4 doubles and, crucially, does NOT enable FMA
 // contraction, so every clone produces the identical IEEE 754 results.
+// Sanitizer builds fall back to the plain kernel: target_clones emits an
+// ifunc resolver that runs during relocation, before the ASan/TSan
+// runtimes are initialized (TSan crashes outright at startup).
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_ADDRESS__)
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
 #define BISTNA_BANK_KERNEL __attribute__((target_clones("default", "avx2")))
 #else
 #define BISTNA_BANK_KERNEL

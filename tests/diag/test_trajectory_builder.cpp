@@ -160,6 +160,7 @@ TEST(SweepEngineAcquire, LanesAndRenderSharingAreBitIdentical) {
                 EXPECT_EQ(results[i].calibration.phase.radians,
                           reference[i].calibration.phase.radians);
                 EXPECT_EQ(results[i].offset_rate, reference[i].offset_rate);
+                EXPECT_EQ(results[i].has_thd, reference[i].has_thd);
                 EXPECT_EQ(results[i].thd_db, reference[i].thd_db);
                 ASSERT_EQ(results[i].points.size(), reference[i].points.size());
                 for (std::size_t p = 0; p < results[i].points.size(); ++p) {
