@@ -6,6 +6,12 @@
 // diagnosed lot -- runs on one shared worker pool.
 //
 //   ./fault_diagnosis [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
+//                     [--store=PATH]
+//
+// The dictionary also ships through its checksummed binary form (written
+// next to the CSV, loaded back both copying and mmapped); --store
+// additionally appends every injected-lot report to a persistent binary
+// record store as the dice stream off their jobs.
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -22,6 +28,9 @@
 #include "diag/diagnose.hpp"
 #include "diag/fault_model.hpp"
 #include "diag/trajectory_builder.hpp"
+#include "store/dictionary_io.hpp"
+#include "store/lot_store.hpp"
+#include "store/records.hpp"
 
 namespace {
 
@@ -36,6 +45,17 @@ double flag_value(int argc, char** argv, const char* name, double fallback) {
         }
     }
     return fallback;
+}
+
+/// Parse a string-valued "--name=value" flag; empty when absent.
+std::string flag_text(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::string(argv[i] + prefix.size());
+        }
+    }
+    return {};
 }
 
 struct cell_outcome {
@@ -64,6 +84,7 @@ int main(int argc, char** argv) {
     const double sigma = flag_value(argc, argv, "sigma", 0.02);
     const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
     const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
+    const std::string store_path = flag_text(argc, argv, "store");
 
     const diag::die_design design; // realistic 0.35 um generator, nominal DUT
     core::analyzer_settings settings;
@@ -94,7 +115,21 @@ int main(int argc, char** argv) {
     const auto shipped = diag::fault_dictionary::read_csv(dictionary_path);
     std::cout << catalog.size() << " faults x " << build.grid_points
               << " severities -> " << dictionary_path << " (round trip "
-              << (shipped == dictionary ? "bit-exact" : "DIVERGED") << ")\n\n";
+              << (shipped == dictionary ? "bit-exact" : "DIVERGED") << ")\n";
+
+    // The binary sibling: checksummed frames with the trajectory matrix
+    // stored contiguously, loaded back both ways (full copy and the
+    // zero-copy mmap view a test floor would share between processes).
+    const std::string binary_path = "fault_dictionary.bin";
+    dictionary.write_binary(binary_path);
+    const auto binary_shipped = diag::fault_dictionary::read_binary(binary_path);
+    const store::mapped_dictionary mapped(binary_path);
+    std::cout << "binary form -> " << binary_path << " (read_binary "
+              << (binary_shipped == dictionary ? "bit-exact" : "DIVERGED")
+              << ", mmap view " << mapped.rows() << " rows x "
+              << (1 + mapped.dimensions()) << " cols, materialized "
+              << (mapped.materialize() == dictionary ? "bit-exact" : "DIVERGED")
+              << ")\n\n";
 
     std::cout << "trajectory extent per fault (normalized distance of the severity\n"
               << "endpoints from the healthy signature):\n";
@@ -120,6 +155,32 @@ int main(int argc, char** argv) {
               << " dice/cell, " << sigma * 100.0 << " % components) ===\n\n";
     const std::vector<double> fractions = {1.0 / 12.0, 0.25, 0.75, 11.0 / 12.0};
 
+    // Optional persistent record store: every lot's reports are appended
+    // as they stream in, with die ids globalized across cells so a
+    // collector can tell the lots apart.
+    std::unique_ptr<store::lot_store> result_store;
+    if (!store_path.empty()) {
+        result_store = std::make_unique<store::lot_store>(
+            store::lot_store::open_append(store_path));
+        const auto& recovery = result_store->recovery();
+        if (recovery.existed) {
+            std::cout << "store: resuming '" << store_path << "' with "
+                      << recovery.valid_records << " records";
+            if (recovery.tail_truncated) {
+                std::cout << " (torn tail truncated at byte " << recovery.tail_offset
+                          << ": " << recovery.tail_error << ")";
+            }
+            std::cout << "\n\n";
+        }
+    }
+    std::uint64_t die_base = 0;
+    const auto store_hook = [&](std::size_t die,
+                                const core::screening_report& report) {
+        if (result_store) {
+            result_store->append(store::to_record(report, die_base + die));
+        }
+    };
+
     ascii_table result_table({"fault", "failing", "top-1", "in ambiguity set",
                               "mean |severity err|"});
     std::size_t total_failing = 0;
@@ -138,7 +199,8 @@ int main(int argc, char** argv) {
             const auto diagnosed = diag::screen_and_diagnose_lot(
                 faulty.factory(), faulty_settings, mask, clf, dice,
                 /*first_seed=*/1000 + static_cast<std::uint64_t>(fraction * 1000.0),
-                threads, lanes, progress, queue);
+                threads, lanes, progress, queue, store_hook);
+            die_base += dice;
             outcome.dice += dice;
             for (const auto& die : diagnosed.failing) {
                 ++outcome.failing;
@@ -188,7 +250,7 @@ int main(int argc, char** argv) {
     healthy.dut_tolerance_sigma = sigma;
     const auto control = diag::screen_and_diagnose_lot(
         healthy.factory(), settings, mask, clf, 4 * dice, /*first_seed=*/5000,
-        threads, lanes, lot_progress("control lot"), queue);
+        threads, lanes, lot_progress("control lot"), queue, store_hook);
     std::size_t control_no_fault = 0;
     for (const auto& die : control.failing) {
         control_no_fault += die.result.fault_detected ? 0 : 1;
@@ -204,5 +266,11 @@ int main(int argc, char** argv) {
     std::cout << "overall localization: " << total_top1 << "/" << total_failing << " ("
               << format_fixed(100.0 * accuracy, 1) << " %) of failing dice rank the "
               << "true fault first\n";
+    if (result_store) {
+        std::cout << "store: '" << result_store->path() << "' now holds "
+                  << result_store->records() << " records ("
+                  << result_store->bytes() << " bytes, "
+                  << result_store->records_appended() << " appended this run)\n";
+    }
     return accuracy >= 0.9 ? 0 : 1;
 }

@@ -8,6 +8,12 @@
 // comparison, and the two are verified to agree die for die.
 //
 //   ./screening_lot [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
+//                   [--store=PATH]
+//
+// --store appends one checksummed binary record per die to PATH as the
+// reports stream off the job (store/lot_store.hpp) -- reopening an
+// existing store resumes it, recovering from a torn tail if a previous
+// run was killed mid-write.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -22,6 +28,8 @@
 #include "core/screening.hpp"
 #include "core/sweep_engine.hpp"
 #include "dut/filters.hpp"
+#include "store/lot_store.hpp"
+#include "store/records.hpp"
 
 namespace {
 
@@ -38,6 +46,17 @@ double flag_value(int argc, char** argv, const char* name, double fallback) {
     return fallback;
 }
 
+/// Parse a string-valued "--name=value" flag; empty when absent.
+std::string flag_text(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::string(argv[i] + prefix.size());
+        }
+    }
+    return {};
+}
+
 core::board_factory make_factory(double sigma) {
     return [sigma](std::uint64_t seed) {
         core::demonstrator_board board(gen::generator_params::ideal(),
@@ -48,11 +67,15 @@ core::board_factory make_factory(double sigma) {
 }
 
 /// Screen the lot as a streamed job on the shared pool: pull reports as
-/// they complete, keeping a live yield line on screen.
+/// they complete, keeping a live yield line on screen.  When `store` is
+/// non-null every completed die is appended to it immediately -- the
+/// store fills in completion order while late dice are still measuring,
+/// and a crash loses at most the frame being written.
 std::vector<core::screening_report>
 screen_streamed(const core::board_factory& factory, const core::analyzer_settings& settings,
                 const core::spec_mask& mask, std::size_t dice, std::size_t batch_lanes,
-                const std::shared_ptr<core::job_queue>& queue, double& seconds) {
+                const std::shared_ptr<core::job_queue>& queue, double& seconds,
+                store::lot_store* sink = nullptr) {
     core::sweep_engine_options options;
     options.batch_lanes = batch_lanes;
     options.queue = queue;
@@ -64,6 +87,9 @@ screen_streamed(const core::board_factory& factory, const core::analyzer_setting
     std::size_t failing = 0;
     while (auto item = handle.next_completed()) {
         failing += item->value.passed ? 0 : 1;
+        if (sink != nullptr) {
+            sink->append(store::to_record(item->value, item->index));
+        }
         const std::size_t done = handle.completed_items();
         std::cout << "\r  " << (batch_lanes > 1 ? "batched" : "scalar ") << ": " << done
                   << "/" << dice << " dice screened, " << failing << " failing" << std::flush;
@@ -103,6 +129,7 @@ int main(int argc, char** argv) {
     const double sigma = flag_value(argc, argv, "sigma", 0.03);
     const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
     const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
+    const std::string store_path = flag_text(argc, argv, "store");
 
     // Production-flow settings: calibrated offset handling, default
     // 200-period acquisitions -- every die pays the grounded calibration
@@ -119,9 +146,28 @@ int main(int argc, char** argv) {
               << " % components, " << queue->threads() << " threads x " << lanes
               << " lanes ===\n\n";
 
+    // Open (or resume) the persistent result store before measuring: a
+    // torn tail from a killed run is reported and truncated here, never
+    // silently read back.
+    std::unique_ptr<store::lot_store> result_store;
+    if (!store_path.empty()) {
+        result_store = std::make_unique<store::lot_store>(
+            store::lot_store::open_append(store_path));
+        const auto& recovery = result_store->recovery();
+        if (recovery.existed) {
+            std::cout << "store: resuming '" << store_path << "' with "
+                      << recovery.valid_records << " records";
+            if (recovery.tail_truncated) {
+                std::cout << " (torn tail truncated at byte " << recovery.tail_offset
+                          << ": " << recovery.tail_error << ")";
+            }
+            std::cout << "\n\n";
+        }
+    }
+
     double batched_seconds = 0.0;
-    const auto reports =
-        screen_streamed(factory, settings, mask, dice, lanes, queue, batched_seconds);
+    const auto reports = screen_streamed(factory, settings, mask, dice, lanes, queue,
+                                         batched_seconds, result_store.get());
     double scalar_seconds = 0.0;
     const auto scalar_reports =
         screen_streamed(factory, settings, mask, dice, 1, queue, scalar_seconds);
@@ -150,5 +196,12 @@ int main(int argc, char** argv) {
               << format_fixed(scalar_seconds / batched_seconds, 2)
               << "x from lockstep evaluation, reports "
               << (identical ? "bit-identical" : "DIVERGED") << "\n";
+
+    if (result_store) {
+        std::cout << "store: '" << result_store->path() << "' now holds "
+                  << result_store->records() << " records ("
+                  << result_store->bytes() << " bytes, "
+                  << result_store->records_appended() << " appended this run)\n";
+    }
     return identical ? 0 : 1;
 }

@@ -1,12 +1,31 @@
 #include "common/csv.hpp"
 
 #include <charconv>
-#include <limits>
-#include <sstream>
+#include <system_error>
 
 #include "common/error.hpp"
 
 namespace bistna {
+
+namespace {
+
+/// Locale-independent double formatting via to_chars (shortest form that
+/// round-trips bit-exactly).  An ostream would consult the global locale:
+/// under a comma-decimal locale (de_DE etc.) it writes "3,14", which both
+/// corrupts the cell separation and can never be parsed back -- shards
+/// written on one machine must load on any other, whatever locale the
+/// host program set.  NaN/inf format as "nan"/"-nan"/"inf"/"-inf",
+/// exactly what from_chars accepts.
+std::string format_cell(double v) {
+    char buf[64];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    if (ec != std::errc{}) {
+        throw configuration_error("csv_writer: cannot format double cell");
+    }
+    return std::string(buf, end);
+}
+
+} // namespace
 
 csv_writer::csv_writer(const std::string& path) : path_(path), out_(path) {
     if (!out_) {
@@ -28,10 +47,7 @@ void csv_writer::row(const std::vector<double>& values) {
     std::vector<std::string> cells;
     cells.reserve(values.size());
     for (double v : values) {
-        std::ostringstream os;
-        os.precision(std::numeric_limits<double>::max_digits10);
-        os << v;
-        cells.push_back(os.str());
+        cells.push_back(format_cell(v));
     }
     write_cells(cells);
 }
@@ -124,6 +140,13 @@ csv_document csv_read(const std::string& path, bool has_header) {
             continue;
         }
         auto cells = csv_split(line);
+        // Tolerate a Windows-style trailing comma: "1,2," means two
+        // values, not two values and an unparseable empty cell.  Only one
+        // trailing empty cell is dropped, and only when the row has other
+        // cells -- interior empties still fail loudly below.
+        if (cells.size() > 1 && cells.back().empty()) {
+            cells.pop_back();
+        }
         if (first && has_header) {
             doc.header = std::move(cells);
             first = false;
@@ -134,7 +157,9 @@ csv_document csv_read(const std::string& path, bool has_header) {
         values.reserve(cells.size());
         for (const auto& cell : cells) {
             // from_chars, not strtod: locale-independent, so the round trip
-            // survives a host program that set LC_NUMERIC.
+            // survives a host program that set LC_NUMERIC.  "nan"/"inf"
+            // cells (e.g. an unmeasured thd_db) parse to the canonical
+            // quiet NaN / infinity with their sign preserved.
             double value = 0.0;
             const char* end = cell.data() + cell.size();
             const auto [ptr, ec] = std::from_chars(cell.data(), end, value);

@@ -20,7 +20,10 @@ public:
     void header(std::initializer_list<std::string> names);
     void header(const std::vector<std::string>& names);
 
-    /// Write a data row of doubles (formatted with max_digits10 precision).
+    /// Write a data row of doubles.  Cells are formatted with
+    /// std::to_chars (locale-independent shortest round-trip form, so the
+    /// text survives a host program that set a comma-decimal locale);
+    /// NaN/inf become "nan"/"inf" with their sign.
     void row(std::initializer_list<double> values);
     void row(const std::vector<double>& values);
 
@@ -56,15 +59,20 @@ std::vector<std::string> csv_split(const std::string& line);
 
 /// Read a CSV written by csv_writer back in.  The first row is treated as
 /// the header when `has_header`; every remaining cell must parse as a
-/// double (throws configuration_error otherwise).  Round-trips
-/// csv_writer's max_digits10 formatting exactly.
+/// double via from_chars (throws configuration_error otherwise), with
+/// "nan"/"inf" cells restored to the canonical quiet NaN / infinity of
+/// the written sign.  Round-trips csv_writer's to_chars formatting
+/// bit-exactly, independent of the global locale.  Files written on
+/// Windows are tolerated: CRLF line endings are stripped and one trailing
+/// empty cell per row (a trailing comma) is dropped.
 csv_document csv_read(const std::string& path, bool has_header = true);
 
 /// Write a whole document (the exact inverse of csv_read): header row when
-/// non-empty, then every data row with max_digits10 precision, so
-/// csv_read(csv_write(doc)) == doc bit-exactly.  Serialization entry point
-/// for artifacts that ship across machines (diag fault dictionaries,
-/// screening-report shards).
+/// non-empty, then every data row in to_chars shortest round-trip form, so
+/// csv_read(csv_write(doc)) == doc bit-exactly (NaN sign preserved, NaN
+/// payloads canonicalized -- the binary record store keeps payload bits
+/// too).  Serialization entry point for artifacts that ship across
+/// machines (diag fault dictionaries, screening-report shards).
 void csv_write(const csv_document& doc, const std::string& path);
 
 } // namespace bistna

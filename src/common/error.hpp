@@ -5,6 +5,7 @@
 // bistna::precondition_error carrying the failed condition and its location.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +22,24 @@ public:
 class configuration_error : public std::runtime_error {
 public:
     explicit configuration_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a persisted artifact (binary record store, framed
+/// dictionary) is malformed: wrong magic/version, torn frame, CRC
+/// mismatch, payload underrun.  Carries the byte offset of the first
+/// offending byte so a corrupt shard can be localized (and a torn tail
+/// truncated) without re-parsing.
+class serialization_error : public std::runtime_error {
+public:
+    serialization_error(const std::string& what, std::uint64_t byte_offset)
+        : std::runtime_error(what + " (byte offset " + std::to_string(byte_offset) + ")"),
+          byte_offset_(byte_offset) {}
+
+    /// Offset of the first invalid byte in the file/buffer.
+    std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+private:
+    std::uint64_t byte_offset_ = 0;
 };
 
 namespace detail {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -79,8 +80,12 @@ struct screening_report {
     /// modulator pair's offset health.
     double offset_rate = 0.0;
     std::vector<limit_result> limits;
+    /// True when the distortion stage ran; thd_db is NaN (never a fake
+    /// 0 dB reading) until then -- the same sentinel the acquisition path
+    /// uses, so text and binary serializations agree about unmeasured
+    /// dice.
     bool distortion_measured = false;
-    double thd_db = 0.0;   ///< valid when distortion_measured
+    double thd_db = std::numeric_limits<double>::quiet_NaN();
     double thd_f_hz = 0.0; ///< frequency the THD was measured at
     bool passed = false;
 };

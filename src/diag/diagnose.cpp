@@ -14,7 +14,8 @@ diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
                                       std::size_t dice, std::uint64_t first_seed,
                                       std::size_t threads, std::size_t batch_lanes,
                                       const diagnose_progress& on_progress,
-                                      std::shared_ptr<core::job_queue> queue) {
+                                      std::shared_ptr<core::job_queue> queue,
+                                      const core::die_report_hook& on_report) {
     const core::screening_options options = clf.dictionary().space.screening_options();
 
     core::sweep_engine_options engine_options;
@@ -37,6 +38,9 @@ diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
     std::vector<core::screening_report> reports(dice);
     std::size_t completed = 0;
     while (auto item = handle.next_completed()) {
+        if (on_report) {
+            on_report(item->index, item->value);
+        }
         if (!item->value.passed) {
             result.failing.push_back(
                 diagnosed_die{item->index, item->value, clf.classify_report(item->value)});

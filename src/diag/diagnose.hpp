@@ -39,12 +39,16 @@ using diagnose_progress = std::function<void(std::size_t completed, std::size_t 
 /// core::screen_lot_parallel: the diagnosed lot is bit-identical at any
 /// thread/lane count and any completion order.  `queue` optionally runs
 /// the lot on a shared pool (e.g. alongside a dictionary build).
+/// `on_report` sees every die's report on the calling thread as it
+/// streams in -- in completion order, not die order -- which is how a
+/// result store appends records while the lot is still measuring.
 diagnosed_lot screen_and_diagnose_lot(const core::board_factory& factory,
                                       const core::analyzer_settings& settings,
                                       const core::spec_mask& mask, const classifier& clf,
                                       std::size_t dice, std::uint64_t first_seed = 1,
                                       std::size_t threads = 0, std::size_t batch_lanes = 1,
                                       const diagnose_progress& on_progress = nullptr,
-                                      std::shared_ptr<core::job_queue> queue = nullptr);
+                                      std::shared_ptr<core::job_queue> queue = nullptr,
+                                      const core::die_report_hook& on_report = nullptr);
 
 } // namespace bistna::diag

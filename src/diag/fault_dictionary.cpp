@@ -4,7 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <limits>
-#include <sstream>
+#include <system_error>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -13,11 +13,17 @@ namespace bistna::diag {
 
 namespace {
 
+/// to_chars, not an ostringstream: component names are part of the
+/// on-disk dictionary schema, and a stream would consult the global
+/// locale (a grouping locale turns "gain_db@1000" into "gain_db@1.000",
+/// which parse() then rejects on every other machine).
 std::string format_frequency(double f_hz) {
-    std::ostringstream os;
-    os.precision(std::numeric_limits<double>::max_digits10);
-    os << f_hz;
-    return os.str();
+    char buf[64];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, f_hz);
+    if (ec != std::errc{}) {
+        throw configuration_error("signature_space: cannot format frequency");
+    }
+    return std::string(buf, end);
 }
 
 double parse_double(const std::string& text, const std::string& what) {

@@ -123,13 +123,24 @@ struct fault_dictionary {
     /// trajectory) pair -- so two trajectories of the same kind (e.g. the
     /// two branches of a signed severity axis) survive the round trip
     /// unmerged.  The healthy signature is the row with fault_kind = -1.
-    /// Doubles are written with max_digits10, so to_csv/from_csv
-    /// round-trip bit-exactly.
+    /// Doubles are written with to_chars (locale-independent shortest
+    /// form), so to_csv/from_csv round-trip bit-exactly.
     csv_document to_csv() const;
     static fault_dictionary from_csv(const csv_document& doc);
 
     void write_csv(const std::string& path) const;
     static fault_dictionary read_csv(const std::string& path);
+
+    /// Binary siblings of write_csv/read_csv: the framed checksummed
+    /// store format (store/dictionary_io.hpp), with the trajectory matrix
+    /// stored as one contiguous 8-aligned f64 block so
+    /// store::mapped_dictionary can serve it zero-copy via mmap.  Doubles
+    /// travel as bit patterns -- unlike the CSV form, NaN payloads and
+    /// signed zeros survive exactly, and any torn/corrupt file is
+    /// rejected with a bistna::serialization_error naming the byte
+    /// offset.
+    void write_binary(const std::string& path) const;
+    static fault_dictionary read_binary(const std::string& path);
 };
 
 } // namespace bistna::diag

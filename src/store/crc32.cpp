@@ -1,0 +1,53 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace bistna::store {
+
+namespace {
+
+// Slicing-by-four: four 256-entry tables let the hot loop consume one
+// 32-bit word per iteration instead of one byte -- the store checksums
+// every payload byte, so this sits on the serialization hot path.
+using crc_tables = std::array<std::array<std::uint32_t, 256>, 4>;
+
+constexpr crc_tables make_tables() {
+    crc_tables tables{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        tables[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        tables[1][i] = (tables[0][i] >> 8) ^ tables[0][tables[0][i] & 0xFFu];
+        tables[2][i] = (tables[1][i] >> 8) ^ tables[0][tables[1][i] & 0xFFu];
+        tables[3][i] = (tables[2][i] >> 8) ^ tables[0][tables[2][i] & 0xFFu];
+    }
+    return tables;
+}
+
+constexpr crc_tables tables = make_tables();
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    while (size >= 4) {
+        c ^= static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) |
+             (static_cast<std::uint32_t>(p[3]) << 24);
+        c = tables[3][c & 0xFFu] ^ tables[2][(c >> 8) & 0xFFu] ^
+            tables[1][(c >> 16) & 0xFFu] ^ tables[0][c >> 24];
+        p += 4;
+        size -= 4;
+    }
+    while (size-- > 0) {
+        c = tables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace bistna::store

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) -- the frame
+// checksum of the binary record store.  The same algorithm zlib/PNG use,
+// so store files can be cross-checked with standard tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bistna::store {
+
+/// CRC-32 of `size` bytes.  Chainable: pass the previous return value as
+/// `crc` to extend a running checksum (crc32 of the concatenation equals
+/// the chained calls).  crc32(nullptr-free empty range) == 0.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0) noexcept;
+
+} // namespace bistna::store

@@ -1,0 +1,92 @@
+#include "store/format.hpp"
+
+#include <array>
+
+#include "store/crc32.hpp"
+
+namespace bistna::store {
+
+void byte_writer::str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void byte_writer::f64_span(std::span<const double> values) {
+    u32(static_cast<std::uint32_t>(values.size()));
+    raw(values.data(), values.size() * sizeof(double));
+}
+
+std::string byte_reader::str() {
+    const std::uint32_t n = u32();
+    require(n, "string bytes");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+std::vector<double> byte_reader::f64_vector() {
+    const std::uint32_t n = u32();
+    require(static_cast<std::size_t>(n) * sizeof(double), "double array");
+    std::vector<double> values(n);
+    if (n != 0) { // empty vector's data() may be null, which memcpy forbids
+        std::memcpy(values.data(), bytes_.data() + pos_, n * sizeof(double));
+    }
+    pos_ += n * sizeof(double);
+    return values;
+}
+
+void byte_reader::require(std::size_t bytes, const char* what) const {
+    if (bytes > bytes_.size() - pos_) {
+        throw serialization_error(std::string("record payload underrun reading ") + what,
+                                  base_ + pos_);
+    }
+}
+
+std::array<std::uint8_t, file_header_size> encode_file_header() {
+    std::array<std::uint8_t, file_header_size> header{};
+    const std::uint32_t magic = store_magic;
+    const std::uint16_t version = format_version;
+    const std::uint16_t endian = endian_tag;
+    const std::uint32_t reserved = 0;
+    std::memcpy(header.data() + 0, &magic, 4);
+    std::memcpy(header.data() + 4, &version, 2);
+    std::memcpy(header.data() + 6, &endian, 2);
+    std::memcpy(header.data() + 8, &reserved, 4);
+    const std::uint32_t crc = crc32(header.data(), 12);
+    std::memcpy(header.data() + 12, &crc, 4);
+    return header;
+}
+
+void validate_file_header(std::span<const std::uint8_t> header, std::uint64_t file_size) {
+    if (file_size == 0) {
+        throw serialization_error("zero-length store file (missing header)", 0);
+    }
+    if (header.size() < file_header_size) {
+        throw serialization_error("store file shorter than its 16-byte header",
+                                  header.size());
+    }
+    std::uint32_t magic = 0;
+    std::uint16_t version = 0;
+    std::uint16_t endian = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&magic, header.data() + 0, 4);
+    std::memcpy(&version, header.data() + 4, 2);
+    std::memcpy(&endian, header.data() + 6, 2);
+    std::memcpy(&crc, header.data() + 12, 4);
+    if (magic != store_magic) {
+        throw serialization_error("bad store magic (not a bistna record store)", 0);
+    }
+    if (version != format_version) {
+        throw serialization_error("unsupported store format version " +
+                                      std::to_string(version),
+                                  4);
+    }
+    if (endian != endian_tag) {
+        throw serialization_error("store written with mismatched endianness", 6);
+    }
+    if (crc32(header.data(), 12) != crc) {
+        throw serialization_error("store header CRC mismatch", 12);
+    }
+}
+
+} // namespace bistna::store

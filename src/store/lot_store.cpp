@@ -1,0 +1,62 @@
+#include "store/lot_store.hpp"
+
+#include <filesystem>
+
+namespace bistna::store {
+
+lot_store lot_store::create(const std::string& path) {
+    return lot_store(std::make_unique<record_writer>(path, /*append=*/false), {});
+}
+
+lot_store lot_store::open_append(const std::string& path) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || size == 0) {
+        // Missing, or a create that died before the header hit the disk:
+        // nothing recoverable, start fresh.
+        store_recovery recovery;
+        recovery.existed = !ec;
+        return lot_store(std::make_unique<record_writer>(path, /*append=*/false),
+                         std::move(recovery));
+    }
+
+    store_recovery recovery;
+    recovery.existed = true;
+    try {
+        record_reader reader(path);
+        recovery.valid_bytes = reader.offset();
+        while (reader.next()) {
+            recovery.valid_bytes = reader.offset();
+            ++recovery.valid_records;
+        }
+    } catch (const serialization_error& error) {
+        if (recovery.valid_bytes == 0) {
+            // Even the 16-byte header is wrong: this is some other file,
+            // not a store with a torn tail -- refuse to "recover" it.
+            throw;
+        }
+        recovery.tail_truncated = true;
+        recovery.tail_offset = error.byte_offset();
+        recovery.tail_error = error.what();
+    }
+
+    if (recovery.tail_truncated) {
+        std::filesystem::resize_file(path, recovery.valid_bytes);
+    }
+    return lot_store(std::make_unique<record_writer>(path, /*append=*/true),
+                     std::move(recovery));
+}
+
+void lot_store::append(const record& r) { append(r.type, r.payload); }
+
+void lot_store::append(record_type type, std::span<const std::uint8_t> payload) {
+    writer_->append(type, payload);
+    writer_->flush();
+    ++appended_;
+}
+
+std::vector<record> lot_store::scan(const std::string& path) {
+    return record_reader::read_all(path);
+}
+
+} // namespace bistna::store

@@ -1,0 +1,73 @@
+// Append-only persistent result store for streamed lots.
+//
+// A shard (or an example streaming dice off a job_handle) appends one
+// record per die; a collector scans the file back.  The failure mode this
+// class exists for is the torn write: a process killed mid-frame leaves a
+// truncated or bit-flipped tail.  open_append scans the existing file,
+// accepts exactly the longest CRC-valid frame prefix, REPORTS the torn
+// tail (offset + reason, via recovery()) and truncates it so the next
+// append produces a well-formed file again -- corruption is surfaced,
+// never silently read back as data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/record_io.hpp"
+
+namespace bistna::store {
+
+/// What open_append found in the pre-existing file.
+struct store_recovery {
+    bool existed = false;            ///< the file was already there
+    std::uint64_t valid_records = 0; ///< CRC-valid frames kept
+    std::uint64_t valid_bytes = 0;   ///< file size of the kept prefix
+    bool tail_truncated = false;     ///< a torn/corrupt tail was cut off
+    std::uint64_t tail_offset = 0;   ///< where the bad tail began
+    std::string tail_error;          ///< why it was rejected
+};
+
+class lot_store {
+public:
+    /// Create (truncate) a fresh store at `path`.
+    static lot_store create(const std::string& path);
+
+    /// Open for appending.  A missing or zero-length file becomes a fresh
+    /// store; an existing one is scanned frame by frame and truncated to
+    /// its valid prefix when the tail is torn (see recovery()).  A file
+    /// that is not a record store at all (bad magic/version/endianness)
+    /// throws serialization_error rather than being overwritten.
+    static lot_store open_append(const std::string& path);
+
+    /// Append one record and flush it to the file, so a crash after
+    /// append() never loses that record to a library buffer.
+    void append(const record& r);
+    void append(record_type type, std::span<const std::uint8_t> payload);
+
+    const store_recovery& recovery() const noexcept { return recovery_; }
+    /// Records appended through this handle (excludes recovered ones).
+    std::uint64_t records_appended() const noexcept { return appended_; }
+    /// Total records in the file: recovered prefix + appended.
+    std::uint64_t records() const noexcept {
+        return recovery_.valid_records + appended_;
+    }
+    std::uint64_t bytes() const noexcept { return writer_->bytes_written(); }
+    const std::string& path() const noexcept { return writer_->path(); }
+
+    /// Strict scan of a store file: every record, throwing
+    /// serialization_error on any corruption (collectors use this; the
+    /// lenient prefix recovery is open_append's job).
+    static std::vector<record> scan(const std::string& path);
+
+private:
+    lot_store(std::unique_ptr<record_writer> writer, store_recovery recovery)
+        : writer_(std::move(writer)), recovery_(std::move(recovery)) {}
+
+    std::unique_ptr<record_writer> writer_;
+    store_recovery recovery_;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace bistna::store

@@ -1,0 +1,143 @@
+#include "store/record_io.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "store/crc32.hpp"
+
+namespace bistna::store {
+
+std::vector<std::uint8_t> encode_frame(record_type type,
+                                       std::span<const std::uint8_t> payload) {
+    BISTNA_EXPECTS(payload.size() <= max_frame_payload, "record payload too large");
+    std::vector<std::uint8_t> frame(frame_header_size + payload.size() +
+                                    frame_trailer_size);
+    const auto type_raw = static_cast<std::uint16_t>(type);
+    const std::uint16_t flags = 0;
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(frame.data() + 0, &type_raw, 2);
+    std::memcpy(frame.data() + 2, &flags, 2);
+    std::memcpy(frame.data() + 4, &length, 4);
+    if (!payload.empty()) { // an empty span's data() may be null
+        std::memcpy(frame.data() + frame_header_size, payload.data(), payload.size());
+    }
+    const std::uint32_t crc = crc32(frame.data(), frame_header_size + payload.size());
+    std::memcpy(frame.data() + frame_header_size + payload.size(), &crc, 4);
+    return frame;
+}
+
+record_writer::record_writer(const std::string& path, bool append) : path_(path) {
+    std::uint64_t existing = 0;
+    if (append) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        existing = ec ? 0 : size;
+    }
+    const auto mode =
+        std::ios::binary | (append ? std::ios::app : std::ios::trunc | std::ios::out);
+    out_.open(path, mode);
+    if (!out_) {
+        throw configuration_error("record_writer: cannot open '" + path + "' for writing");
+    }
+    offset_ = existing;
+    if (offset_ == 0) {
+        const auto header = encode_file_header();
+        out_.write(reinterpret_cast<const char*>(header.data()),
+                   static_cast<std::streamsize>(header.size()));
+        offset_ = header.size();
+    }
+}
+
+void record_writer::append(record_type type, std::span<const std::uint8_t> payload) {
+    const auto frame = encode_frame(type, payload);
+    out_.write(reinterpret_cast<const char*>(frame.data()),
+               static_cast<std::streamsize>(frame.size()));
+    if (!out_) {
+        throw configuration_error("record_writer: write to '" + path_ + "' failed");
+    }
+    offset_ += frame.size();
+    ++records_;
+}
+
+void record_writer::flush() {
+    out_.flush();
+    if (!out_) {
+        throw configuration_error("record_writer: flush of '" + path_ + "' failed");
+    }
+}
+
+record_reader::record_reader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+    if (!in_) {
+        throw configuration_error("record_reader: cannot open '" + path + "' for reading");
+    }
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    file_size_ = ec ? 0 : size;
+
+    std::array<std::uint8_t, file_header_size> header{};
+    in_.read(reinterpret_cast<char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    validate_file_header(std::span<const std::uint8_t>(header.data(), got), file_size_);
+    offset_ = file_header_size;
+}
+
+std::optional<record> record_reader::next() {
+    const std::uint64_t frame_offset = offset_;
+    std::array<std::uint8_t, frame_header_size> header{};
+    in_.read(reinterpret_cast<char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got == 0) {
+        return std::nullopt; // clean end of file
+    }
+    if (got < frame_header_size) {
+        throw serialization_error("truncated frame header (torn final frame)",
+                                  frame_offset);
+    }
+    std::uint16_t type_raw = 0;
+    std::uint32_t length = 0;
+    std::memcpy(&type_raw, header.data() + 0, 2);
+    std::memcpy(&length, header.data() + 4, 4);
+    if (length > max_frame_payload ||
+        frame_offset + frame_header_size + length + frame_trailer_size > file_size_) {
+        // Either a flipped length byte or a frame that runs past the end
+        // of the file; both are reported before any giant allocation.
+        throw serialization_error("implausible frame length " + std::to_string(length),
+                                  frame_offset + 4);
+    }
+
+    record r;
+    r.type = static_cast<record_type>(type_raw);
+    r.payload.resize(length);
+    in_.read(reinterpret_cast<char*>(r.payload.data()),
+             static_cast<std::streamsize>(length));
+    std::uint32_t stored_crc = 0;
+    in_.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+    if (static_cast<std::size_t>(in_.gcount()) < sizeof stored_crc) {
+        throw serialization_error("truncated frame payload (torn final frame)",
+                                  frame_offset);
+    }
+
+    std::uint32_t crc = crc32(header.data(), header.size());
+    crc = crc32(r.payload.data(), r.payload.size(), crc);
+    if (crc != stored_crc) {
+        throw serialization_error("frame CRC mismatch (corrupt record)", frame_offset);
+    }
+    offset_ = frame_offset + frame_header_size + length + frame_trailer_size;
+    ++records_;
+    return r;
+}
+
+std::vector<record> record_reader::read_all(const std::string& path) {
+    record_reader reader(path);
+    std::vector<record> records;
+    while (auto r = reader.next()) {
+        records.push_back(std::move(*r));
+    }
+    return records;
+}
+
+} // namespace bistna::store

@@ -1,0 +1,81 @@
+// Streaming writer/reader for the framed record format (see format.hpp).
+//
+// record_writer appends frames to an open file as results stream off a
+// job_handle; record_reader walks a file frame by frame, verifying every
+// CRC, and throws a typed serialization_error (with the byte offset) the
+// moment it meets a torn or bit-flipped frame -- a corrupt store is never
+// silently accepted.  The append-only lot_store builds on both.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace bistna::store {
+
+/// Encode one frame (header + payload + CRC) into a byte buffer -- the
+/// unit record_writer appends and the shard wire format streams.
+std::vector<std::uint8_t> encode_frame(record_type type,
+                                       std::span<const std::uint8_t> payload);
+
+class record_writer {
+public:
+    /// Opens `path` for writing.  `append` keeps existing bytes (the
+    /// caller -- normally lot_store -- is responsible for having validated
+    /// them); otherwise the file is truncated.  A fresh/empty file gets
+    /// the 16-byte store header.  Throws configuration_error on I/O
+    /// failure.
+    explicit record_writer(const std::string& path, bool append = false);
+
+    void append(const record& r) { append(r.type, r.payload); }
+    void append(record_type type, std::span<const std::uint8_t> payload);
+
+    void flush();
+
+    /// Total file size in bytes after everything appended so far.
+    std::uint64_t bytes_written() const noexcept { return offset_; }
+    std::uint64_t records_written() const noexcept { return records_; }
+    const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t offset_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+class record_reader {
+public:
+    /// Opens `path` and validates the store header.  Throws
+    /// configuration_error when the file cannot be opened and
+    /// serialization_error when the header is malformed (zero-length
+    /// file, wrong magic/version/endianness, header CRC mismatch).
+    explicit record_reader(const std::string& path);
+
+    /// The next frame, or nullopt at clean end-of-file.  Throws
+    /// serialization_error -- naming the offset of the offending frame --
+    /// on a truncated frame header/payload, an implausible length, or a
+    /// CRC mismatch.
+    std::optional<record> next();
+
+    /// Offset of the next unread byte (after the last cleanly read frame).
+    std::uint64_t offset() const noexcept { return offset_; }
+    std::uint64_t records_read() const noexcept { return records_; }
+    const std::string& path() const noexcept { return path_; }
+
+    /// Read every frame of `path` strictly (any corruption throws).
+    static std::vector<record> read_all(const std::string& path);
+
+private:
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t offset_ = 0;
+    std::uint64_t file_size_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+} // namespace bistna::store

@@ -1,11 +1,17 @@
 // CSV write -> read round trip: csv_read must recover exactly what
-// csv_writer emitted (max_digits10 formatting makes doubles round-trip
-// bit-exactly through the text form).
+// csv_writer emitted (to_chars shortest-round-trip formatting makes
+// doubles round-trip bit-exactly through the text form), independent of
+// the host program's global locale, line endings, or trailing commas.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <locale>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,7 +55,7 @@ TEST(CsvRoundTrip, HeaderAndValuesSurviveExactly) {
     for (std::size_t r = 0; r < rows.size(); ++r) {
         ASSERT_EQ(doc.rows[r].size(), rows[r].size());
         for (std::size_t c = 0; c < rows[r].size(); ++c) {
-            // Bit-exact: max_digits10 text preserves every double.
+            // Bit-exact: shortest-round-trip text preserves every double.
             EXPECT_EQ(doc.rows[r][c], rows[r][c]) << "row " << r << " col " << c;
         }
     }
@@ -157,6 +163,113 @@ TEST(CsvRoundTrip, DocumentWriterHandlesHeaderlessDocuments) {
     const auto reloaded = csv_read(file.path(), /*has_header=*/false);
     EXPECT_TRUE(reloaded.header.empty());
     EXPECT_EQ(reloaded.rows, doc.rows);
+}
+
+/// A numpunct facet using comma as the decimal point (the de_DE shape)
+/// without needing that locale generated in the container.
+class comma_numpunct : public std::numpunct<char> {
+protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+/// RAII: installs a comma-decimal global locale for the test body.  Any
+/// locale-sensitive formatting path (ostream operator<<, strtod) would
+/// now emit/expect "3,14" -- the CSV layer must not care.
+class global_locale_guard {
+public:
+    global_locale_guard()
+        : previous_(std::locale::global(
+              std::locale(std::locale::classic(), new comma_numpunct))) {}
+    ~global_locale_guard() { std::locale::global(previous_); }
+
+private:
+    std::locale previous_;
+};
+
+TEST(CsvRoundTrip, SurvivesACommaDecimalGlobalLocale) {
+    global_locale_guard locale;
+    // Sanity: the injected locale really does make ostreams write commas
+    // (i.e. this test would catch a locale-sensitive formatting path).
+    {
+        std::ostringstream probe;
+        probe.imbue(std::locale());
+        probe << 3.14;
+        ASSERT_EQ(probe.str(), "3,14");
+    }
+
+    temp_csv file("bistna_roundtrip_locale.csv");
+    const std::vector<std::vector<double>> rows = {
+        {3.14, -1234567.875, 1.0 / 3.0},
+        {1e-300, -2.5e300, 0.1},
+    };
+    {
+        csv_writer writer(file.path());
+        writer.header({"a", "b", "c"});
+        for (const auto& row : rows) {
+            writer.row(row);
+        }
+    }
+    const auto doc = csv_read(file.path());
+    ASSERT_EQ(doc.rows.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(doc.rows[r].size(), rows[r].size()) << "row " << r;
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            EXPECT_EQ(doc.rows[r][c], rows[r][c]) << "row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(CsvRoundTrip, NanAndInfCellsSurvive) {
+    temp_csv file("bistna_roundtrip_nonfinite.csv");
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    {
+        csv_writer writer(file.path());
+        writer.header({"thd_db", "lo", "hi", "neg"});
+        writer.row({qnan, inf, -inf, -qnan});
+    }
+    const auto doc = csv_read(file.path());
+    ASSERT_EQ(doc.rows.size(), 1u);
+    const auto& row = doc.rows[0];
+    ASSERT_EQ(row.size(), 4u);
+    // Canonical quiet NaN round-trips bit-exactly, sign included; the
+    // infinities are themselves.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(row[0]), std::bit_cast<std::uint64_t>(qnan));
+    EXPECT_EQ(row[1], inf);
+    EXPECT_EQ(row[2], -inf);
+    EXPECT_TRUE(std::isnan(row[3]));
+    EXPECT_TRUE(std::signbit(row[3]));
+}
+
+TEST(CsvRoundTrip, CrlfLineEndingsAndTrailingCommasParse) {
+    temp_csv file("bistna_roundtrip_crlf.csv");
+    {
+        // Hand-written bytes, the shape a Windows tool (or Excel export)
+        // produces: CRLF line endings and a trailing comma on data rows.
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "f_hz,gain_db\r\n"
+            << "100,-0.5,\r\n"
+            << "1000,-3,\r\n"
+            << "10000,-20.25\r\n";
+    }
+    const auto doc = csv_read(file.path());
+    EXPECT_EQ(doc.header, (std::vector<std::string>{"f_hz", "gain_db"}));
+    ASSERT_EQ(doc.rows.size(), 3u);
+    EXPECT_EQ(doc.rows[0], (std::vector<double>{100.0, -0.5}));
+    EXPECT_EQ(doc.rows[1], (std::vector<double>{1000.0, -3.0}));
+    EXPECT_EQ(doc.rows[2], (std::vector<double>{10000.0, -20.25}));
+}
+
+TEST(CsvRoundTrip, InteriorEmptyCellsStillFailLoudly) {
+    temp_csv file("bistna_roundtrip_interior.csv");
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "a,b,c\r\n"
+            << "1,,3\r\n"; // an interior empty is missing data, not a CRLF artifact
+    }
+    EXPECT_THROW(csv_read(file.path()), configuration_error);
 }
 
 TEST(CsvRoundTrip, ReaderRejectsGarbage) {

@@ -4,6 +4,7 @@
 // paths, the per-die report hook, and the CSV shard round trip.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -114,7 +115,10 @@ void expect_reports_identical(const std::vector<screening_report>& a,
         EXPECT_EQ(a[die].stimulus_phase_deg, b[die].stimulus_phase_deg);
         EXPECT_EQ(a[die].offset_rate, b[die].offset_rate);
         EXPECT_EQ(a[die].distortion_measured, b[die].distortion_measured);
-        EXPECT_EQ(a[die].thd_db, b[die].thd_db);
+        // Bit-pattern compare: an unmeasured thd_db is the NaN sentinel,
+        // which EXPECT_EQ on doubles would always flag as different.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a[die].thd_db),
+                  std::bit_cast<std::uint64_t>(b[die].thd_db));
         ASSERT_EQ(a[die].limits.size(), b[die].limits.size());
         for (std::size_t i = 0; i < a[die].limits.size(); ++i) {
             EXPECT_EQ(a[die].limits[i].measured_db, b[die].limits[i].measured_db);
@@ -202,6 +206,32 @@ TEST(DiagnosticScreening, ReportsRoundTripThroughCsv) {
     const auto lot_b = aggregate_lot(reloaded);
     EXPECT_EQ(lot_a.passed, lot_b.passed);
     EXPECT_EQ(lot_a.dice, lot_b.dice);
+}
+
+TEST(DiagnosticScreening, UnmeasuredThdSurvivesTheCsvRoundTrip) {
+    const auto mask = spec_mask::paper_lowpass();
+    sweep_engine engine(paper_factory(), fast_settings(), {.threads = 1});
+    // Plain production options: the distortion stage never runs, so every
+    // report carries the NaN sentinel, not a fake 0 dB reading.
+    const auto reports = engine.screen_batch(mask, 2, 1);
+    ASSERT_FALSE(reports.empty());
+    for (const auto& report : reports) {
+        EXPECT_FALSE(report.distortion_measured);
+        EXPECT_TRUE(std::isnan(report.thd_db));
+    }
+
+    const std::string path = "/tmp/bistna_screening_unmeasured_thd.csv";
+    csv_write(screening_reports_to_csv(reports), path);
+    const auto reloaded = screening_reports_from_csv(csv_read(path), &mask);
+    std::remove(path.c_str());
+    ASSERT_EQ(reloaded.size(), reports.size());
+    for (std::size_t i = 0; i < reloaded.size(); ++i) {
+        EXPECT_FALSE(reloaded[i].distortion_measured);
+        // The "nan" cell comes back as the canonical quiet NaN,
+        // bit-identical to the sentinel it left as.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(reloaded[i].thd_db),
+                  std::bit_cast<std::uint64_t>(reports[i].thd_db));
+    }
 }
 
 TEST(DiagnosticScreening, ReportCsvRejectsCorruptLimitCounts) {

@@ -1,0 +1,202 @@
+// Binary fault-dictionary files: copying round trip, the zero-copy
+// mmap view, equivalence with the CSV schema, and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diag/fault_dictionary.hpp"
+#include "store/dictionary_io.hpp"
+
+namespace {
+
+using namespace bistna;
+
+class temp_file {
+public:
+    explicit temp_file(const char* name) : path_(std::string("/tmp/") + name) {
+        std::remove(path_.c_str());
+    }
+    ~temp_file() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+diag::signature_space test_space() {
+    diag::signature_space space;
+    space.frequencies_hz = {500.0, 1000.0};
+    space.thd_max_harmonic = 3;
+    space.thd_f_hz = 1000.0;
+    return space;
+}
+
+/// A small dictionary with finite values only (safe for operator==).
+diag::fault_dictionary finite_dictionary() {
+    diag::fault_dictionary dictionary;
+    dictionary.space = test_space();
+    const auto dims = dictionary.space.dimensions();
+    dictionary.healthy.assign(dims, 0.25);
+    diag::fault_trajectory first;
+    first.kind = diag::fault_kind::cap_unit_mismatch;
+    for (int i = 0; i < 3; ++i) {
+        diag::trajectory_point point;
+        point.severity = 0.01 * (i + 1);
+        point.signature.assign(dims, 0.1 * (i + 1));
+        point.signature[0] = 0.3 + 1e-17 * i; // exercise shortest-repr digits
+        first.points.push_back(point);
+    }
+    diag::fault_trajectory second;
+    second.kind = diag::fault_kind::integrator_leak;
+    for (int i = 0; i < 2; ++i) {
+        diag::trajectory_point point;
+        point.severity = 1e-4 * (i + 1);
+        point.signature.assign(dims, -70.0 + i);
+        second.points.push_back(point);
+    }
+    dictionary.trajectories.push_back(std::move(first));
+    dictionary.trajectories.push_back(std::move(second));
+    return dictionary;
+}
+
+TEST(DictionaryBinary, WriteReadRoundTrip) {
+    temp_file file("bistna_dict_roundtrip.bin");
+    const auto dictionary = finite_dictionary();
+    dictionary.write_binary(file.path());
+    const auto restored = diag::fault_dictionary::read_binary(file.path());
+    EXPECT_EQ(restored, dictionary);
+}
+
+TEST(DictionaryBinary, EmptyHealthySignatureSurvives) {
+    temp_file file("bistna_dict_nohealthy.bin");
+    auto dictionary = finite_dictionary();
+    dictionary.healthy.clear();
+    dictionary.write_binary(file.path());
+    const auto restored = diag::fault_dictionary::read_binary(file.path());
+    EXPECT_EQ(restored, dictionary);
+
+    store::mapped_dictionary mapped(file.path());
+    EXPECT_TRUE(mapped.healthy().empty());
+}
+
+TEST(DictionaryBinary, NanPayloadsSurviveBitExactly) {
+    temp_file file("bistna_dict_nan.bin");
+    auto dictionary = finite_dictionary();
+    const double awkward = std::bit_cast<double>(std::uint64_t{0x7FF8C0FFEE000001ull});
+    dictionary.trajectories[0].points[1].signature[2] = awkward;
+    dictionary.trajectories[1].points[0].severity =
+        -std::numeric_limits<double>::infinity();
+    dictionary.write_binary(file.path());
+
+    const auto restored = diag::fault_dictionary::read_binary(file.path());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                  restored.trajectories[0].points[1].signature[2]),
+              0x7FF8C0FFEE000001ull);
+    EXPECT_TRUE(std::isinf(restored.trajectories[1].points[0].severity));
+
+    store::mapped_dictionary mapped(file.path());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(mapped.row(0, 1)[3]),
+              0x7FF8C0FFEE000001ull);
+}
+
+TEST(DictionaryBinary, MappedViewMatchesTheStruct) {
+    temp_file file("bistna_dict_mapped.bin");
+    const auto dictionary = finite_dictionary();
+    dictionary.write_binary(file.path());
+
+    store::mapped_dictionary mapped(file.path());
+    EXPECT_EQ(mapped.space(), dictionary.space);
+    EXPECT_EQ(mapped.dimensions(), dictionary.space.dimensions());
+    ASSERT_EQ(mapped.healthy().size(), dictionary.healthy.size());
+    EXPECT_EQ(mapped.healthy()[0], 0.25);
+    ASSERT_EQ(mapped.trajectory_count(), dictionary.trajectories.size());
+
+    std::size_t total_rows = 0;
+    for (std::size_t t = 0; t < mapped.trajectory_count(); ++t) {
+        const auto& trajectory = dictionary.trajectories[t];
+        EXPECT_EQ(mapped.kind(t), trajectory.kind);
+        ASSERT_EQ(mapped.points(t), trajectory.points.size());
+        for (std::size_t p = 0; p < trajectory.points.size(); ++p) {
+            const auto row = mapped.row(t, p);
+            ASSERT_EQ(row.size(), 1 + mapped.dimensions());
+            EXPECT_EQ(row[0], trajectory.points[p].severity);
+            for (std::size_t d = 0; d < mapped.dimensions(); ++d) {
+                EXPECT_EQ(row[1 + d], trajectory.points[p].signature[d]);
+            }
+            ++total_rows;
+        }
+    }
+    EXPECT_EQ(mapped.rows(), total_rows);
+    EXPECT_EQ(mapped.matrix().size(), total_rows * (1 + mapped.dimensions()));
+    // The matrix really is served straight from the mapping, 8-aligned.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mapped.matrix().data()) % alignof(double),
+              0u);
+
+    EXPECT_EQ(mapped.materialize(), dictionary);
+}
+
+TEST(DictionaryBinary, MappedViewIsMovable) {
+    temp_file file("bistna_dict_move.bin");
+    const auto dictionary = finite_dictionary();
+    dictionary.write_binary(file.path());
+
+    store::mapped_dictionary first(file.path());
+    store::mapped_dictionary second(std::move(first));
+    EXPECT_EQ(second.materialize(), dictionary);
+    second = store::mapped_dictionary(file.path());
+    EXPECT_EQ(second.materialize(), dictionary);
+}
+
+TEST(DictionaryBinary, BinaryAndCsvFormsAgree) {
+    temp_file binary_file("bistna_dict_agree.bin");
+    temp_file csv_file("bistna_dict_agree.csv");
+    const auto dictionary = finite_dictionary();
+    dictionary.write_binary(binary_file.path());
+    dictionary.write_csv(csv_file.path());
+    const auto from_binary = diag::fault_dictionary::read_binary(binary_file.path());
+    const auto from_csv = diag::fault_dictionary::read_csv(csv_file.path());
+    EXPECT_EQ(from_binary, from_csv);
+    EXPECT_EQ(from_binary, dictionary);
+}
+
+TEST(DictionaryBinary, CorruptMatrixIsRejectedByBothLoaders) {
+    temp_file file("bistna_dict_corrupt.bin");
+    finite_dictionary().write_binary(file.path());
+
+    // Flip one byte near the end of the file (inside the matrix frame).
+    std::fstream io(file.path(), std::ios::binary | std::ios::in | std::ios::out);
+    io.seekg(0, std::ios::end);
+    const auto size = static_cast<std::int64_t>(io.tellg());
+    io.seekp(size - 9);
+    char byte = 0;
+    io.seekg(size - 9);
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    io.seekp(size - 9);
+    io.write(&byte, 1);
+    io.close();
+
+    EXPECT_THROW((void)diag::fault_dictionary::read_binary(file.path()),
+                 serialization_error);
+    EXPECT_THROW((void)store::mapped_dictionary(file.path()), serialization_error);
+}
+
+TEST(DictionaryBinary, TrailingGarbageIsRejected) {
+    temp_file file("bistna_dict_trailing.bin");
+    finite_dictionary().write_binary(file.path());
+    {
+        std::ofstream out(file.path(), std::ios::binary | std::ios::app);
+        out << "extra";
+    }
+    EXPECT_THROW((void)store::mapped_dictionary(file.path()), serialization_error);
+}
+
+} // namespace

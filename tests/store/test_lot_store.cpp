@@ -1,0 +1,165 @@
+// Append-only lot store: create / append / reopen / scan, and the torn-
+// write recovery contract -- a process killed mid-frame leaves a tail
+// that open_append reports, truncates, and then appends over cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/screening.hpp"
+#include "store/lot_store.hpp"
+#include "store/records.hpp"
+
+namespace {
+
+using namespace bistna;
+
+class temp_file {
+public:
+    explicit temp_file(const char* name) : path_(std::string("/tmp/") + name) {
+        std::remove(path_.c_str());
+    }
+    ~temp_file() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+core::screening_report report_for_die(std::uint64_t die) {
+    core::screening_report report;
+    report.passed = (die % 2) == 0;
+    report.self_test_passed = true;
+    report.stimulus_volts = 0.3 + 0.001 * static_cast<double>(die);
+    core::limit_result result;
+    result.limit.name = "lp";
+    result.measured_db = -1.0 - static_cast<double>(die);
+    report.limits.push_back(result);
+    return report;
+}
+
+std::vector<store::stored_report> scan_reports(const std::string& path) {
+    std::vector<store::stored_report> reports;
+    for (const auto& record : store::lot_store::scan(path)) {
+        reports.push_back(store::report_from_record(record));
+    }
+    return reports;
+}
+
+TEST(LotStore, CreateAppendScanRoundTrip) {
+    temp_file file("bistna_lot_basic.bin");
+    {
+        auto lot = store::lot_store::create(file.path());
+        EXPECT_FALSE(lot.recovery().existed);
+        for (std::uint64_t die = 0; die < 4; ++die) {
+            lot.append(store::to_record(report_for_die(die), die));
+        }
+        EXPECT_EQ(lot.records_appended(), 4u);
+        EXPECT_EQ(lot.records(), 4u);
+    }
+    const auto reports = scan_reports(file.path());
+    ASSERT_EQ(reports.size(), 4u);
+    for (std::uint64_t die = 0; die < 4; ++die) {
+        EXPECT_EQ(reports[die].die, die);
+        EXPECT_EQ(reports[die].report.stimulus_volts,
+                  report_for_die(die).stimulus_volts);
+    }
+}
+
+TEST(LotStore, OpenAppendMissingFileStartsFresh) {
+    temp_file file("bistna_lot_fresh.bin");
+    auto lot = store::lot_store::open_append(file.path());
+    EXPECT_FALSE(lot.recovery().existed);
+    EXPECT_FALSE(lot.recovery().tail_truncated);
+    lot.append(store::to_record(report_for_die(0), 0));
+    EXPECT_EQ(scan_reports(file.path()).size(), 1u);
+}
+
+TEST(LotStore, OpenAppendExtendsACleanStore) {
+    temp_file file("bistna_lot_extend.bin");
+    {
+        auto lot = store::lot_store::create(file.path());
+        lot.append(store::to_record(report_for_die(0), 0));
+        lot.append(store::to_record(report_for_die(1), 1));
+    }
+    {
+        auto lot = store::lot_store::open_append(file.path());
+        EXPECT_TRUE(lot.recovery().existed);
+        EXPECT_EQ(lot.recovery().valid_records, 2u);
+        EXPECT_FALSE(lot.recovery().tail_truncated);
+        lot.append(store::to_record(report_for_die(2), 2));
+        EXPECT_EQ(lot.records(), 3u);
+        EXPECT_EQ(lot.records_appended(), 1u);
+    }
+    const auto reports = scan_reports(file.path());
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_EQ(reports[2].die, 2u);
+}
+
+TEST(LotStore, TornTailIsReportedTruncatedAndAppendable) {
+    temp_file file("bistna_lot_torn.bin");
+    std::uint64_t intact_bytes = 0;
+    {
+        auto lot = store::lot_store::create(file.path());
+        lot.append(store::to_record(report_for_die(0), 0));
+        lot.append(store::to_record(report_for_die(1), 1));
+        intact_bytes = lot.bytes();
+        lot.append(store::to_record(report_for_die(2), 2));
+    }
+    // Simulate a crash mid-frame: the third record loses its trailing CRC
+    // and half its payload.
+    std::filesystem::resize_file(file.path(), intact_bytes + 11);
+
+    // A strict scan refuses the torn file outright...
+    EXPECT_THROW((void)store::lot_store::scan(file.path()), serialization_error);
+
+    {
+        // ...while open_append keeps the valid prefix, reports the tear,
+        // and truncates it.
+        auto lot = store::lot_store::open_append(file.path());
+        EXPECT_TRUE(lot.recovery().existed);
+        EXPECT_EQ(lot.recovery().valid_records, 2u);
+        EXPECT_EQ(lot.recovery().valid_bytes, intact_bytes);
+        EXPECT_TRUE(lot.recovery().tail_truncated);
+        EXPECT_GE(lot.recovery().tail_offset, intact_bytes);
+        EXPECT_FALSE(lot.recovery().tail_error.empty());
+        lot.append(store::to_record(report_for_die(3), 3));
+    }
+
+    // The healed store scans cleanly: dice 0, 1, then the re-appended 3.
+    const auto reports = scan_reports(file.path());
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_EQ(reports[0].die, 0u);
+    EXPECT_EQ(reports[1].die, 1u);
+    EXPECT_EQ(reports[2].die, 3u);
+}
+
+TEST(LotStore, OpenAppendRefusesToRecoverForeignFiles) {
+    temp_file file("bistna_lot_foreign.bin");
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "die,passed\n0,1\n"; // a CSV, not a record store
+    }
+    // Bad magic means this was never a store: open_append must throw, not
+    // quietly truncate someone's CSV to 16 bytes.
+    EXPECT_THROW((void)store::lot_store::open_append(file.path()), serialization_error);
+    EXPECT_GT(std::filesystem::file_size(file.path()), 0u);
+}
+
+TEST(LotStore, ZeroLengthFileBecomesAFreshStore) {
+    temp_file file("bistna_lot_zero.bin");
+    { std::ofstream out(file.path(), std::ios::binary); }
+    ASSERT_EQ(std::filesystem::file_size(file.path()), 0u);
+    auto lot = store::lot_store::open_append(file.path());
+    EXPECT_TRUE(lot.recovery().existed);
+    EXPECT_FALSE(lot.recovery().tail_truncated);
+    lot.append(store::to_record(report_for_die(0), 0));
+    EXPECT_EQ(scan_reports(file.path()).size(), 1u);
+}
+
+} // namespace
