@@ -8,6 +8,9 @@
 //   ./fault_diagnosis [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
 //                     [--store=PATH]
 //
+// When --threads/--lanes are omitted the sweep engine's autotune probe
+// picks them for this machine; pass either flag to override.
+//
 // The dictionary also ships through its checksummed binary form (written
 // next to the CSV, loaded back both copying and mmapped); --store
 // additionally appends every injected-lot report to a persistent binary
@@ -24,6 +27,7 @@
 #include "common/table.hpp"
 #include "core/job_queue.hpp"
 #include "core/screening.hpp"
+#include "core/sweep_engine.hpp"
 #include "diag/classifier.hpp"
 #include "diag/diagnose.hpp"
 #include "diag/fault_model.hpp"
@@ -58,6 +62,17 @@ std::string flag_text(int argc, char** argv, const char* name) {
     return {};
 }
 
+/// True when "--name=value" appears in argv at all.
+bool flag_present(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
 struct cell_outcome {
     std::size_t dice = 0;
     std::size_t failing = 0;
@@ -82,8 +97,8 @@ diag::diagnose_progress lot_progress(const std::string& label) {
 int main(int argc, char** argv) {
     const auto dice = static_cast<std::size_t>(flag_value(argc, argv, "dice", 8.0));
     const double sigma = flag_value(argc, argv, "sigma", 0.02);
-    const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
-    const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
+    auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
+    auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
     const std::string store_path = flag_text(argc, argv, "store");
 
     const diag::die_design design; // realistic 0.35 um generator, nominal DUT
@@ -91,6 +106,24 @@ int main(int argc, char** argv) {
     const auto mask = core::spec_mask::paper_lowpass();
     const auto catalog = diag::default_catalog();
     const auto space = diag::signature_space::from_mask(mask, /*thd_max_harmonic=*/3);
+
+    // Flags omitted -> autotune the configuration on the nominal die
+    // (either flag still overrides).
+    if (!flag_present(argc, argv, "threads") || !flag_present(argc, argv, "lanes")) {
+        core::sweep_engine_options probe;
+        probe.autotune = true;
+        core::sweep_engine tuner(design.factory(), settings, probe);
+        const auto tuned = tuner.stats();
+        if (!flag_present(argc, argv, "threads")) {
+            threads = tuned.threads;
+        }
+        if (!flag_present(argc, argv, "lanes")) {
+            lanes = tuned.batch_lanes;
+        }
+        std::cout << "autotune probe picked " << tuned.threads << " threads x "
+                  << tuned.batch_lanes << " lanes in "
+                  << format_fixed(tuned.autotune_seconds * 1e3, 1) << " ms\n\n";
+    }
 
     // One pool for every session this demo runs.
     const auto queue = std::make_shared<core::job_queue>(threads);

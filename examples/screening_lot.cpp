@@ -10,6 +10,10 @@
 //   ./screening_lot [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
 //                   [--store=PATH]
 //
+// When --threads/--lanes are omitted the engine's autotune probe picks
+// them (a short calibration screen at each candidate configuration); pass
+// either flag to override.
+//
 // --store appends one checksummed binary record per die to PATH as the
 // reports stream off the job (store/lot_store.hpp) -- reopening an
 // existing store resumes it, recovering from a torn tail if a previous
@@ -55,6 +59,17 @@ std::string flag_text(int argc, char** argv, const char* name) {
         }
     }
     return {};
+}
+
+/// True when "--name=value" appears in argv at all.
+bool flag_present(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return true;
+        }
+    }
+    return false;
 }
 
 core::board_factory make_factory(double sigma) {
@@ -127,8 +142,8 @@ bool reports_identical(const std::vector<core::screening_report>& a,
 int main(int argc, char** argv) {
     const auto dice = static_cast<std::size_t>(flag_value(argc, argv, "dice", 64.0));
     const double sigma = flag_value(argc, argv, "sigma", 0.03);
-    const auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
-    const auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
+    auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
+    auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
     const std::string store_path = flag_text(argc, argv, "store");
 
     // Production-flow settings: calibrated offset handling, default
@@ -137,6 +152,24 @@ int main(int argc, char** argv) {
     core::analyzer_settings settings;
     const auto mask = core::spec_mask::paper_lowpass();
     const auto factory = make_factory(sigma);
+
+    // Flags omitted -> let the engine's autotune probe pick the
+    // configuration for this machine (either flag still overrides).
+    if (!flag_present(argc, argv, "threads") || !flag_present(argc, argv, "lanes")) {
+        core::sweep_engine_options probe;
+        probe.autotune = true;
+        core::sweep_engine tuner(factory, settings, probe);
+        const auto tuned = tuner.stats();
+        if (!flag_present(argc, argv, "threads")) {
+            threads = tuned.threads;
+        }
+        if (!flag_present(argc, argv, "lanes")) {
+            lanes = tuned.batch_lanes;
+        }
+        std::cout << "autotune probe picked " << tuned.threads << " threads x "
+                  << tuned.batch_lanes << " lanes in "
+                  << format_fixed(tuned.autotune_seconds * 1e3, 1) << " ms\n\n";
+    }
 
     // One worker pool serves both sessions below (and could serve any
     // number of concurrent lots).

@@ -1,0 +1,79 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace bistna {
+
+arena::arena(std::size_t initial_bytes)
+    : initial_bytes_(std::max<std::size_t>(initial_bytes, alignment)) {}
+
+std::span<double> arena::allocate_zeroed(std::size_t count) {
+    auto out = allocate<double>(count);
+    std::memset(out.data(), 0, out.size_bytes());
+    return out;
+}
+
+void arena::reset() noexcept {
+    for (block& b : blocks_) {
+        b.offset = 0;
+    }
+    active_ = 0;
+    used_ = 0;
+}
+
+void arena::shrink() noexcept {
+    blocks_.clear();
+    active_ = 0;
+    used_ = 0;
+    capacity_ = 0;
+}
+
+void* arena::allocate_bytes(std::size_t bytes) {
+    // Zero-size allocations still get a unique, aligned, valid pointer.
+    const std::size_t rounded = std::max<std::size_t>(
+        alignment, (bytes + alignment - 1) / alignment * alignment);
+    BISTNA_EXPECTS(rounded >= bytes, "arena allocation size overflow");
+
+    while (active_ < blocks_.size()) {
+        block& b = blocks_[active_];
+        if (b.size - b.offset >= rounded) {
+            void* p = b.base + b.offset;
+            b.offset += rounded;
+            used_ += rounded;
+            high_water_ = std::max(high_water_, used_);
+            return p;
+        }
+        // This block is (effectively) full; never backtrack into it until
+        // the next reset.  Later blocks were sized for earlier overflows,
+        // so the scan is O(blocks) worst case and blocks stays tiny.
+        ++active_;
+    }
+    block& b = grow(rounded);
+    void* p = b.base + b.offset;
+    b.offset += rounded;
+    used_ += rounded;
+    high_water_ = std::max(high_water_, used_);
+    return p;
+}
+
+arena::block& arena::grow(std::size_t min_bytes) {
+    const std::size_t last = blocks_.empty() ? initial_bytes_ : blocks_.back().size * 2;
+    const std::size_t size = std::max(min_bytes, last);
+
+    block b;
+    b.storage = std::make_unique<unsigned char[]>(size + alignment);
+    const auto addr = reinterpret_cast<std::uintptr_t>(b.storage.get());
+    const std::uintptr_t aligned = (addr + alignment - 1) / alignment * alignment;
+    b.base = b.storage.get() + (aligned - addr);
+    b.size = size;
+    b.offset = 0;
+    capacity_ += size;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+    return blocks_.back();
+}
+
+} // namespace bistna

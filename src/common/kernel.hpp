@@ -1,0 +1,20 @@
+// Shared attribute macro for the lane-major hot kernels (extension).
+//
+// The SoA kernels (sd::modulator_bank, dut::state_space_bank,
+// dsp::goertzel_lanes) are compiled twice where the toolchain supports it:
+// a baseline clone and an AVX2 clone picked at load time via ifunc.  AVX2
+// widens the lane vectors to 4 doubles and does NOT enable FMA
+// contraction, so every clone produces identical IEEE 754 results -- the
+// bit-identity contract survives runtime dispatch.
+//
+// Sanitizer builds fall back to the plain function: target_clones emits an
+// ifunc resolver that runs during relocation, before the ASan/TSan
+// runtimes initialize (TSan crashes outright at startup).
+#pragma once
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define BISTNA_KERNEL_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define BISTNA_KERNEL_CLONES
+#endif

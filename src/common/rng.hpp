@@ -41,6 +41,12 @@ public:
     /// Derive an independent child generator (for per-run streams).
     rng spawn() noexcept;
 
+    /// Exact stream-position equality (state and Box-Muller cache): two
+    /// equal generators produce identical streams forever.  Lets the
+    /// calibration-transplant fast path verify a snapshot matches before
+    /// adopting it.
+    bool operator==(const rng&) const noexcept = default;
+
 private:
     std::array<std::uint64_t, 4> state_{};
     double cached_gaussian_ = 0.0;

@@ -18,14 +18,19 @@ std::vector<double> demonstrator_board::render(const sim::timebase& tb, std::siz
                                                std::size_t settle_periods) {
     BISTNA_EXPECTS(periods > 0, "must render at least one period");
 
+    const auto staircase = stimulus_record(periods, settle_periods);
+    return render_from_stimulus(*staircase, tb, periods, path, settle_periods);
+}
+
+stimulus_cache::record_ptr
+demonstrator_board::stimulus_record(std::size_t periods, std::size_t settle_periods) const {
     if (stimulus_cache_) {
-        const auto staircase = stimulus_cache_->get_or_render(
+        return stimulus_cache_->get_or_render(
             stimulus_cache_key(periods, settle_periods),
             [&] { return render_stimulus(periods, settle_periods); });
-        return render_from_stimulus(*staircase, tb, periods, path, settle_periods);
     }
-    const auto staircase = render_stimulus(periods, settle_periods);
-    return render_from_stimulus(staircase, tb, periods, path, settle_periods);
+    return std::make_shared<const stimulus_cache::record>(
+        render_stimulus(periods, settle_periods));
 }
 
 std::vector<double> demonstrator_board::render_stimulus(std::size_t periods,
@@ -58,7 +63,7 @@ std::vector<double> demonstrator_board::render_stimulus(std::size_t periods,
 }
 
 std::vector<double> demonstrator_board::render_from_stimulus(
-    const std::vector<double>& staircase, const sim::timebase& tb, std::size_t periods,
+    std::span<const double> staircase, const sim::timebase& tb, std::size_t periods,
     signal_path path, std::size_t settle_periods) {
     BISTNA_EXPECTS(periods > 0, "must render at least one period");
     const std::size_t total_samples = tb.samples_for_periods(settle_periods + periods);
@@ -68,8 +73,8 @@ std::vector<double> demonstrator_board::render_from_stimulus(
 
     if (path == signal_path::calibration) {
         // Dashed path of Fig. 1: the evaluator samples the staircase itself.
-        return std::vector<double>(
-            staircase.begin() + static_cast<std::ptrdiff_t>(keep_from), staircase.end());
+        const auto tail = staircase.subspan(keep_from);
+        return std::vector<double>(tail.begin(), tail.end());
     }
 
     // The DUT filters the staircase in continuous time (exact ZOH state
@@ -79,11 +84,10 @@ std::vector<double> demonstrator_board::render_from_stimulus(
     // kept tail is written straight into the record (no full-length copy).
     dut_->reset();
     dut_->prepare(tb.master().value);
-    const std::span<const double> input(staircase);
     std::vector<double> discard(keep_from);
-    dut_->process_block(input.first(keep_from), discard);
+    dut_->process_block(staircase.first(keep_from), discard);
     std::vector<double> record(total_samples - keep_from);
-    dut_->process_block(input.subspan(keep_from), record);
+    dut_->process_block(staircase.subspan(keep_from), record);
     return record;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -57,11 +58,19 @@ public:
     std::vector<double> render_stimulus(std::size_t periods,
                                         std::size_t settle_periods) const;
 
+    /// The stage-1 staircase as an immutable shared record: fetched from
+    /// the attached cache when one is present (zero-copy on a hit; render()
+    /// and the sweep engine's lane-major pipeline both read straight from
+    /// the cached record), rendered fresh otherwise.
+    stimulus_cache::record_ptr stimulus_record(std::size_t periods,
+                                               std::size_t settle_periods) const;
+
     /// Stage 2: filter a staircase from render_stimulus through the
     /// selected path on timebase `tb` (ZOH state-space pass for the DUT
     /// path, plain pass-through for the calibration path) and keep the last
-    /// `periods` periods.
-    std::vector<double> render_from_stimulus(const std::vector<double>& staircase,
+    /// `periods` periods.  Takes a span so cached records feed the DUT
+    /// without a copy.
+    std::vector<double> render_from_stimulus(std::span<const double> staircase,
                                              const sim::timebase& tb, std::size_t periods,
                                              signal_path path, std::size_t settle_periods);
 

@@ -3,14 +3,31 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 #include <span>
+#include <thread>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "dut/state_space.hpp"
+#include "eval/acquire_plan.hpp"
 #include "eval/batch_evaluator.hpp"
 
 namespace bistna::core {
+
+namespace {
+
+/// The worker's render/measure scratch: one arena per thread, reset at the
+/// start of every work item, so a steady-state lot loop allocates nothing
+/// after the first item per worker reaches peak size.
+arena& worker_arena() {
+    thread_local arena scratch;
+    return scratch;
+}
+
+} // namespace
 
 std::uint64_t sweep_item_seed(std::uint64_t base_seed, std::size_t index) noexcept {
     // The item's position in the seed stream is just a stream id.
@@ -21,6 +38,11 @@ sweep_engine::sweep_engine(board_factory factory, analyzer_settings settings,
                            sweep_engine_options options)
     : factory_(std::move(factory)), settings_(settings), options_(std::move(options)) {
     BISTNA_EXPECTS(factory_ != nullptr, "sweep engine requires a board factory");
+    if (options_.autotune) {
+        run_autotune(); // may rewrite options_.threads / options_.batch_lanes
+    }
+    demod_tables_ = std::make_shared<eval::demod_table_cache>();
+    calibration_share_ = std::make_shared<eval::calibration_share>();
     queue_ = options_.queue ? options_.queue
                             : std::make_shared<job_queue>(options_.threads);
     if (options_.share_stimulus) {
@@ -44,6 +66,89 @@ demonstrator_board sweep_engine::make_board(std::uint64_t seed) const {
 
 stimulus_cache_stats sweep_engine::stimulus_stats() const {
     return stimulus_cache_ ? stimulus_cache_->stats() : stimulus_cache_stats{};
+}
+
+sweep_stats sweep_engine::stats() const {
+    sweep_stats stats;
+    stats.threads = resolved_threads();
+    stats.batch_lanes = std::max<std::size_t>(1, options_.batch_lanes);
+    stats.pipeline = options_.pipeline;
+    stats.autotuned = autotuned_;
+    stats.autotune_seconds = autotune_seconds_;
+    stats.autotune_candidates = autotune_candidates_;
+    stats.stimulus = stimulus_stats();
+    stats.calibration_snapshots = calibration_share_ ? calibration_share_->entries() : 0;
+    return stats;
+}
+
+void sweep_engine::run_autotune() {
+    const auto start = std::chrono::steady_clock::now();
+
+    // Candidate grid.  A shared queue's thread count is not ours to change,
+    // so only the lane count is tuned then.
+    std::vector<std::size_t> thread_candidates;
+    if (options_.queue) {
+        thread_candidates.push_back(options_.queue->threads());
+    } else {
+        const std::size_t hw =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        thread_candidates.push_back(hw);
+        if (hw / 2 >= 1 && hw / 2 != hw) {
+            thread_candidates.push_back(hw / 2);
+        }
+    }
+    const std::size_t lane_candidates[] = {4, 8, 16};
+
+    // The probe workload: a miniature screening lot (short records, short
+    // calibration, a mask every die passes) -- enough render + measure work
+    // per die to expose the render/acquire throughput ratio the real lot
+    // will see, at a negligible fraction of its cost.
+    analyzer_settings probe_settings = settings_;
+    probe_settings.periods = 16;
+    probe_settings.settle_periods = 4;
+    probe_settings.distortion_periods = 32;
+    probe_settings.evaluator.calibration_periods = 64;
+    spec_mask probe_mask;
+    probe_mask.limits.push_back(gain_limit{1000.0, -1e9, 1e9, "autotune-probe"});
+    probe_mask.stimulus_tolerance = 1e9; // every die passes the self-test
+
+    autotune_candidate best{};
+    for (std::size_t threads : thread_candidates) {
+        for (std::size_t lanes : lane_candidates) {
+            sweep_engine_options probe_options = options_;
+            probe_options.autotune = false;
+            probe_options.threads = threads;
+            probe_options.batch_lanes = lanes;
+            sweep_engine probe(factory_, probe_settings, probe_options);
+            const std::size_t dice = 2 * probe.resolved_threads() * lanes;
+            (void)probe.screen_batch(probe_mask, lanes, 1); // warm-up: pools + caches
+            const auto t0 = std::chrono::steady_clock::now();
+            (void)probe.screen_batch(probe_mask, dice, 1);
+            autotune_candidate candidate;
+            candidate.threads = probe.resolved_threads();
+            candidate.batch_lanes = lanes;
+            candidate.seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            candidate.dice_per_second =
+                candidate.seconds > 0.0 ? static_cast<double>(dice) / candidate.seconds
+                                        : 0.0;
+            if (candidate.dice_per_second > best.dice_per_second) {
+                best = candidate;
+            }
+            autotune_candidates_.push_back(candidate);
+        }
+    }
+
+    if (best.batch_lanes != 0) {
+        if (!options_.queue) {
+            options_.threads = best.threads;
+        }
+        options_.batch_lanes = best.batch_lanes;
+        autotuned_ = true;
+    }
+    autotune_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
 std::size_t sweep_engine::resolved_threads() const noexcept {
@@ -98,6 +203,12 @@ void sweep_engine::bode_group(const std::vector<hertz>& frequencies,
         spans[l] = records[l];
     }
     eval::batch_evaluator evaluators(std::move(configs));
+    if (options_.pipeline == sweep_pipeline::lane_major) {
+        arena& scratch = worker_arena();
+        scratch.reset();
+        evaluators.set_shared_resources(demod_tables_.get(), &scratch,
+                                        calibration_share_.get());
+    }
     const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
     for (std::size_t l = 0; l < count; ++l) {
         out[l] = assemble_frequency_point(frequencies[first + l], calibration, outputs[l],
@@ -237,6 +348,10 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
                                 std::uint64_t first_seed, std::size_t count,
                                 screening_report* reports) {
     BISTNA_EXPECTS(count > 0, "lane group must contain at least one die");
+    if (options_.pipeline == sweep_pipeline::lane_major) {
+        screen_group_lane_major(mask, screening, first_seed, count, reports);
+        return;
+    }
 
     std::vector<demonstrator_board> boards;
     boards.reserve(count);
@@ -329,6 +444,177 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
         }
         const auto thd = evaluators.measure_thd_lanes(
             active, spans, screening.distortion_max_harmonic, settings_.distortion_periods);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            reports[active[i]].distortion_measured = true;
+            reports[active[i]].thd_db = thd[i].db;
+            reports[active[i]].thd_f_hz = f_hz;
+        }
+    }
+}
+
+double* sweep_engine::render_dut_lane_major(std::vector<demonstrator_board>& boards,
+                                            const std::vector<std::size_t>& active,
+                                            const sim::timebase& tb, std::size_t periods,
+                                            bistna::arena& scratch) {
+    const std::size_t lanes = active.size();
+    const std::size_t total = tb.samples_for_periods(settings_.settle_periods + periods);
+    const std::size_t keep_from = tb.samples_for_periods(settings_.settle_periods);
+    const std::size_t tail = total - keep_from;
+    double* out = scratch.allocate<double>(tail * lanes).data();
+
+    // Stage 1 per lane, straight from the shared cache (no tail copies).
+    std::vector<stimulus_cache::record_ptr> stairs(lanes);
+    bool same_staircase = true;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        stairs[i] = boards[active[i]].stimulus_record(periods, settings_.settle_periods);
+        same_staircase = same_staircase && stairs[i].get() == stairs[0].get();
+    }
+
+    // Stage 2: the lockstep state-space pass when every lane is a prepared
+    // linear realization of bankable order -- the same reset / prepare /
+    // settle-block / tail-block sequence as render_from_stimulus, run
+    // lane-major across the group.
+    std::vector<dut::state_space*> realizations(lanes);
+    bool bankable = true;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        auto& device = boards[active[i]].dut();
+        device.reset();
+        device.prepare(tb.master().value);
+        realizations[i] = device.linear_realization();
+        bankable = bankable && realizations[i] != nullptr;
+    }
+    if (bankable &&
+        dut::state_space_bank::compatible({realizations.data(), lanes})) {
+        dut::state_space_bank bank({realizations.data(), lanes}, scratch);
+        double* discard = scratch.allocate<double>(keep_from * lanes).data();
+        if (same_staircase) {
+            const double* input = stairs[0]->data();
+            bank.step_block_shared(input, keep_from, discard);
+            bank.step_block_shared(input + keep_from, tail, out);
+        } else {
+            const double** settle_inputs = scratch.allocate<const double*>(lanes).data();
+            const double** tail_inputs = scratch.allocate<const double*>(lanes).data();
+            for (std::size_t i = 0; i < lanes; ++i) {
+                settle_inputs[i] = stairs[i]->data();
+                tail_inputs[i] = stairs[i]->data() + keep_from;
+            }
+            bank.step_block_lanes(settle_inputs, keep_from, discard);
+            bank.step_block_lanes(tail_inputs, tail, out);
+        }
+        return out;
+    }
+
+    // Fallback (non-linear or high-order DUTs): scalar per-lane renders
+    // transposed into the lane-major layout -- bit-identical by definition.
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const auto record = boards[active[i]].render_from_stimulus(
+            *stairs[i], tb, periods, signal_path::through_dut, settings_.settle_periods);
+        for (std::size_t n = 0; n < tail; ++n) {
+            out[n * lanes + i] = record[n];
+        }
+    }
+    return out;
+}
+
+void sweep_engine::screen_group_lane_major(const spec_mask& mask,
+                                           const screening_options& screening,
+                                           std::uint64_t first_seed, std::size_t count,
+                                           screening_report* reports) {
+    arena& scratch = worker_arena();
+    scratch.reset();
+
+    std::vector<demonstrator_board> boards;
+    boards.reserve(count);
+    for (std::size_t l = 0; l < count; ++l) {
+        boards.push_back(make_board(first_seed + l));
+    }
+    eval::batch_evaluator evaluators(
+        std::vector<eval::evaluator_config>(count, settings_.evaluator));
+    evaluators.set_shared_resources(demod_tables_.get(), &scratch,
+                                    calibration_share_.get());
+
+    // Stage 1 -- stimulus self-test through the calibration path.  The
+    // calibration record *is* the staircase tail, so the lanes read the
+    // shared cached record in place (one lockstep broadcast acquisition
+    // when every lane's staircase is the same cached record).
+    const auto cal_tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
+    std::vector<stimulus_calibration> inputs(count);
+    std::vector<std::size_t> active;
+    active.reserve(count);
+    {
+        const std::size_t keep_from = cal_tb.samples_for_periods(settings_.settle_periods);
+        std::vector<stimulus_cache::record_ptr> stairs(count);
+        bool same_staircase = true;
+        for (std::size_t l = 0; l < count; ++l) {
+            stairs[l] =
+                boards[l].stimulus_record(settings_.periods, settings_.settle_periods);
+            same_staircase = same_staircase && stairs[l].get() == stairs[0].get();
+        }
+        std::vector<std::size_t> all(count);
+        std::iota(all.begin(), all.end(), std::size_t{0});
+        std::vector<eval::harmonic_measurement> measured;
+        if (same_staircase) {
+            const std::span<const double> tail(stairs[0]->data() + keep_from,
+                                               stairs[0]->size() - keep_from);
+            measured = evaluators.measure_harmonic_lanes_shared(all, tail, 1,
+                                                                settings_.periods);
+        } else {
+            std::vector<std::span<const double>> tails(count);
+            for (std::size_t l = 0; l < count; ++l) {
+                tails[l] = std::span<const double>(stairs[l]->data() + keep_from,
+                                                   stairs[l]->size() - keep_from);
+            }
+            measured = evaluators.measure_harmonic_lanes(all, tails, 1, settings_.periods);
+        }
+        for (std::size_t l = 0; l < count; ++l) {
+            inputs[l] = make_stimulus_calibration(measured[l]);
+            screening_report& report = reports[l];
+            report.stimulus_volts = inputs[l].amplitude.volts;
+            report.stimulus_phase_deg = rad_to_deg(inputs[l].phase.radians);
+            report.offset_rate = evaluators.extractor(l).offset_rate_ch1();
+            report.self_test_passed = stimulus_self_test(mask, report.stimulus_volts);
+            report.passed = report.self_test_passed;
+            if (report.self_test_passed || screening.continue_after_self_test_failure) {
+                active.push_back(l);
+            }
+        }
+    }
+    if (active.empty()) {
+        return;
+    }
+
+    // Stage 2 -- every mask limit: one banked state-space pass renders the
+    // active lanes' records lane-major, one lane-major lockstep acquisition
+    // consumes them with no transpose in between.
+    for (std::size_t limit_index = 0; limit_index < mask.limits.size(); ++limit_index) {
+        const auto& limit = mask.limits[limit_index];
+        const auto tb = sim::timebase::for_wave_frequency(hertz{limit.f_hz});
+        const double* lane_major =
+            render_dut_lane_major(boards, active, tb, settings_.periods, scratch);
+        const auto outputs = evaluators.measure_harmonic_lanes_lane_major(
+            active, lane_major, 1, settings_.periods);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            const std::size_t l = active[i];
+            const auto point =
+                assemble_frequency_point(hertz{limit.f_hz}, inputs[l], outputs[i],
+                                         settings_.hold_compensation, boards[l].dut());
+            const auto result = evaluate_limit(limit, point, limit_index);
+            reports[l].passed = reports[l].passed && result.passed;
+            reports[l].limits.push_back(result);
+        }
+    }
+
+    // Stage 3 -- optional distortion, same banked render / lane-major
+    // acquisition shape at the distortion record length.
+    if (screening.measure_distortion) {
+        const double f_hz = screening.distortion_f_hz > 0.0 ? screening.distortion_f_hz
+                                                            : mask.limits.front().f_hz;
+        const auto tb = sim::timebase::for_wave_frequency(hertz{f_hz});
+        const double* lane_major = render_dut_lane_major(
+            boards, active, tb, settings_.distortion_periods, scratch);
+        const auto thd = evaluators.measure_thd_lanes_lane_major(
+            active, lane_major, screening.distortion_max_harmonic,
+            settings_.distortion_periods);
         for (std::size_t i = 0; i < active.size(); ++i) {
             reports[active[i]].distortion_measured = true;
             reports[active[i]].thd_db = thd[i].db;
@@ -499,6 +785,12 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
         configs.push_back(items[first + l].evaluator);
     }
     eval::batch_evaluator evaluators(std::move(configs));
+    if (options_.pipeline == sweep_pipeline::lane_major) {
+        arena& scratch = worker_arena();
+        scratch.reset();
+        evaluators.set_shared_resources(demod_tables_.get(), &scratch,
+                                        calibration_share_.get());
+    }
 
     std::vector<stimulus_cache::record_ptr> records(count);
     std::vector<std::span<const double>> spans(count);

@@ -41,8 +41,31 @@
 #include "core/job_queue.hpp"
 #include "core/screening.hpp"
 #include "core/stimulus_cache.hpp"
+#include "sim/timebase.hpp"
+
+namespace bistna {
+class arena;
+namespace eval {
+class demod_table_cache;
+class calibration_share;
+} // namespace eval
+} // namespace bistna
 
 namespace bistna::core {
+
+/// Execution pipeline of the lockstep lane groups.
+enum class sweep_pipeline {
+    /// Span-based scalar-render reference path: per-lane board renders, AoS
+    /// acquisition.  The bit-identity oracle and the roofline bench's
+    /// baseline.
+    reference,
+    /// Roofline path: banked DUT state-space pass emitting lane-major
+    /// records straight into lane-major evaluator kernels, arena-backed
+    /// scratch per worker, cached demodulation tables and calibration-state
+    /// transplant across identically-seeded lanes.  Bit-identical to
+    /// `reference` at any {threads, batch_lanes}.
+    lane_major,
+};
 
 struct sweep_engine_options {
     /// Worker threads of the engine's own pool; 0 picks
@@ -76,6 +99,38 @@ struct sweep_engine_options {
     /// For Bode batches the lanes apply only with a shared calibration
     /// (recalibrate_per_point falls back to the scalar path).
     std::size_t batch_lanes = 1;
+    /// How lane groups execute (see sweep_pipeline).  Every pipeline is
+    /// bit-identical; `reference` exists as the oracle and bench baseline.
+    sweep_pipeline pipeline = sweep_pipeline::lane_major;
+    /// Self-tune {threads, batch_lanes} at construction: a short
+    /// calibration probe screens a few synthetic dice at each candidate
+    /// configuration and adopts the fastest (reported in stats()).  When a
+    /// shared `queue` is set only batch_lanes is tuned.  The probe only
+    /// runs the factory (a pure function of its seed), so tuning never
+    /// perturbs results -- outputs stay bit-identical at any configuration.
+    bool autotune = false;
+};
+
+/// One configuration the autotune probe timed.
+struct autotune_candidate {
+    std::size_t threads = 0;
+    std::size_t batch_lanes = 0;
+    double seconds = 0.0;
+    double dice_per_second = 0.0;
+};
+
+/// Resolved execution configuration and shared-resource counters of an
+/// engine (autotune outcome included).
+struct sweep_stats {
+    std::size_t threads = 0;
+    std::size_t batch_lanes = 1;
+    sweep_pipeline pipeline = sweep_pipeline::lane_major;
+    bool autotuned = false;
+    double autotune_seconds = 0.0;
+    std::vector<autotune_candidate> autotune_candidates;
+    stimulus_cache_stats stimulus;
+    /// Calibration snapshots resident in the engine's transplant share.
+    std::size_t calibration_snapshots = 0;
 };
 
 /// Aggregated outcome of a parallel Bode batch.
@@ -214,6 +269,10 @@ public:
     /// is off).
     stimulus_cache_stats stimulus_stats() const;
 
+    /// Resolved configuration (post-autotune), pipeline and shared-resource
+    /// counters.
+    sweep_stats stats() const;
+
 private:
     /// Build the work item's board and attach the shared cache to it.
     demonstrator_board make_board(std::uint64_t seed) const;
@@ -241,6 +300,30 @@ private:
                       std::uint64_t first_seed, std::size_t count,
                       screening_report* reports);
 
+    /// The roofline form of screen_group (options.pipeline == lane_major):
+    /// cached staircases feed a banked state-space pass whose lane-major
+    /// output feeds the lane-major evaluator kernels, with all scratch on
+    /// the worker's arena.  Bit-identical per die to screen_group.
+    void screen_group_lane_major(const spec_mask& mask, const screening_options& screening,
+                                 std::uint64_t first_seed, std::size_t count,
+                                 screening_report* reports);
+
+    /// Render the through-DUT stage of every active lane as one lane-major
+    /// block (sample n of active lane i at out[n * active.size() + i]),
+    /// arena-allocated.  Uses the state_space_bank lockstep pass when every
+    /// lane exposes a compatible linear realization, otherwise per-lane
+    /// scalar renders transposed into the same layout -- bit-identical
+    /// either way.  Returns the block of tb.samples_for_periods(periods)
+    /// rows.
+    double* render_dut_lane_major(std::vector<demonstrator_board>& boards,
+                                  const std::vector<std::size_t>& active,
+                                  const sim::timebase& tb, std::size_t periods,
+                                  bistna::arena& scratch);
+
+    /// Autotune probe (constructor helper): time candidate
+    /// {threads, batch_lanes} points and adopt the fastest into options_.
+    void run_autotune();
+
     /// Lockstep acquisition of items [first, first + count) of an acquire()
     /// batch, results written to results[0..count).  `shared_records` is
     /// the batch-lifetime render share for keyed items.
@@ -260,6 +343,14 @@ private:
     analyzer_settings settings_;
     sweep_engine_options options_;
     std::shared_ptr<stimulus_cache> stimulus_cache_;
+    /// Shared lane-major-pipeline resources: demodulation sign tables
+    /// (pure functions of the acquisition settings) and the calibration
+    /// transplant share.  Both thread-safe; both inert in reference mode.
+    std::shared_ptr<eval::demod_table_cache> demod_tables_;
+    std::shared_ptr<eval::calibration_share> calibration_share_;
+    bool autotuned_ = false;
+    double autotune_seconds_ = 0.0;
+    std::vector<autotune_candidate> autotune_candidates_;
     /// Declared last on purpose: a private queue's destructor cancels and
     /// joins in-flight jobs whose closures use the members above, so it
     /// must be destroyed (= workers joined) before any of them.

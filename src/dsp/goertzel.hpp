@@ -2,20 +2,34 @@
 //
 // Serves as the "ideal DSP" baseline analyzer (refs [4][5] in the paper):
 // a coherent correlation against sin/cos at one frequency, giving amplitude
-// and phase without a full FFT.
+// and phase without a full FFT.  The block API (goertzel_lanes) runs the
+// recurrence over many lanes at once in lane-major layout -- the shape the
+// banked render pipeline emits -- with the same per-lane arithmetic as the
+// scalar path.
 #pragma once
 
 #include <complex>
 #include <cstddef>
-#include <vector>
+#include <span>
 
 namespace bistna::dsp {
 
 /// Complex correlation sum (2/N) * sum x[n] e^{-j 2 pi f n / fs}.
 /// For a coherent record (integer periods), |result| is the tone amplitude
 /// and arg(result) its phase (cosine reference).
-std::complex<double> goertzel(const std::vector<double>& samples, double frequency_hz,
+std::complex<double> goertzel(std::span<const double> samples, double frequency_hz,
                               double sample_rate_hz);
+
+/// goertzel() over `lanes` records at one frequency, lane-major: lane l's
+/// sample n lives at xs[n * lanes + l] (exactly the layout
+/// dut::state_space_bank emits) and its correlation lands in results[l].
+/// Per-lane recurrence and finalization match goertzel() operation for
+/// operation, so each lane is bit-identical to the scalar call on that
+/// lane's record; the lane-inner loop merely lets the compiler vectorize
+/// across lanes.
+void goertzel_lanes(const double* lane_major_xs, std::size_t count, std::size_t lanes,
+                    double frequency_hz, double sample_rate_hz,
+                    std::complex<double>* results);
 
 /// Amplitude and phase of a tone extracted by coherent correlation.
 struct tone_estimate {
@@ -23,7 +37,7 @@ struct tone_estimate {
     double phase_rad = 0.0; ///< phase of A*cos(wt + phase)
 };
 
-tone_estimate estimate_tone(const std::vector<double>& samples, double frequency_hz,
+tone_estimate estimate_tone(std::span<const double> samples, double frequency_hz,
                             double sample_rate_hz);
 
 } // namespace bistna::dsp

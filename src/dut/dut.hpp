@@ -47,6 +47,13 @@ public:
     virtual std::complex<double> ideal_response(double frequency_hz) const = 0;
 
     virtual std::string description() const = 0;
+
+    /// The prepared state-space realization backing this DUT, or nullptr
+    /// when the device is not a plain linear realization.  Non-null lets
+    /// the sweep engine run whole lane groups through one
+    /// state_space_bank lockstep pass instead of per-lane process_block
+    /// calls; callers fall back to process_block when this is null.
+    virtual state_space* linear_realization() noexcept { return nullptr; }
 };
 
 /// Straight wire (the calibration path of Fig. 1).
@@ -70,6 +77,7 @@ public:
     void reset() override;
     std::complex<double> ideal_response(double frequency_hz) const override;
     std::string description() const override { return name_; }
+    state_space* linear_realization() noexcept override { return &realization_; }
 
     const transfer_function& tf() const noexcept { return tf_; }
 

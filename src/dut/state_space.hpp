@@ -10,10 +10,13 @@
 
 #include <span>
 
+#include "common/arena.hpp"
 #include "dut/transfer_function.hpp"
 #include "linalg/matrix.hpp"
 
 namespace bistna::dut {
+
+class state_space_bank;
 
 class state_space {
 public:
@@ -35,7 +38,9 @@ public:
     /// step() over a whole record (output.size() == input.size()), sample
     /// for sample bit-identical to the scalar loop but with the per-sample
     /// call and precondition overhead hoisted out -- the board's
-    /// DUT-filtering hot path.
+    /// DUT-filtering hot path.  Orders 1-4 (every DUT the catalog builds)
+    /// run register-resident fast paths; higher orders fall back to the
+    /// generic per-sample loop, bit-identically.
     void step_block(std::span<const double> input, std::span<double> output);
 
     /// Zero the state.
@@ -45,12 +50,66 @@ public:
     const linalg::matrix& a() const noexcept { return a_; }
 
 private:
+    friend class state_space_bank;
+
     linalg::matrix a_, b_, c_;
     double d_;
     linalg::matrix ad_, bd_;
     std::vector<double> state_;
     std::vector<double> scratch_; ///< next-state buffer, swapped each step
     bool prepared_ = false;
+};
+
+/// Lockstep SoA pass over many prepared realizations of equal order: the
+/// DUT-filtering stage of the banked render pipeline.  Lane l advances with
+/// exactly the per-lane arithmetic of lanes[l]->step_block (same
+/// left-to-right association, no cross-lane math), so every output sample
+/// and final state is bit-identical to the scalar pass at any lane count --
+/// the bank only swaps the loop order (sample-outer, lane-inner over
+/// contiguous coefficient/state lanes) so the compiler can vectorize across
+/// lanes, with a runtime AVX2 clone where the toolchain supports it.
+///
+/// Coefficient/state SoA storage is bump-allocated from the caller's arena,
+/// which must outlive the bank and must not be reset while it is in use.
+class state_space_bank {
+public:
+    /// True when the lanes can run the lockstep kernel: at least one lane,
+    /// all prepared, equal order, order <= 4 (every DUT the catalog builds).
+    static bool compatible(std::span<const state_space* const> lanes) noexcept;
+
+    /// Requires compatible(); lane states are loaded from the lanes here
+    /// and written back after every block.
+    state_space_bank(std::span<state_space* const> lanes, arena& scratch);
+
+    std::size_t lanes() const noexcept { return n_lanes_; }
+    std::size_t order() const noexcept { return order_; }
+
+    /// Lane l filters inputs[l][0..count); out is lane-major:
+    /// out[n * lanes() + l] holds lane l's output at sample n -- exactly
+    /// the layout sd::modulator_bank::accumulate_lane_major consumes, so
+    /// render feeds measure without a transpose.
+    void step_block_lanes(const double* const* inputs, std::size_t count,
+                          double* lane_major_out) noexcept;
+
+    /// step_block_lanes() with one record broadcast to every lane (the
+    /// cache-shared staircase): no per-lane input gather at all.
+    void step_block_shared(const double* input, std::size_t count,
+                           double* lane_major_out) noexcept;
+
+private:
+    void run(const double* lane_major_u, const double* shared_u,
+             std::size_t count, double* out) noexcept;
+    void write_back() noexcept;
+
+    std::size_t n_lanes_ = 0;
+    std::size_t order_ = 0;
+    state_space** lane_ptrs_ = nullptr; ///< arena copy for state write-back
+    double* ad_ = nullptr;  ///< (r * order + c) * lanes + l
+    double* bd_ = nullptr;  ///< r * lanes + l
+    double* c_ = nullptr;   ///< j * lanes + l
+    double* d_ = nullptr;   ///< l
+    double* x_ = nullptr;   ///< r * lanes + l
+    double* u_scratch_ = nullptr; ///< transpose block for per-lane inputs
 };
 
 } // namespace bistna::dut

@@ -1,0 +1,85 @@
+#include "eval/acquire_plan.hpp"
+
+#include "common/hash.hpp"
+
+namespace bistna::eval {
+
+namespace {
+
+std::uint64_t tables_key(const acquisition_settings& settings) {
+    std::uint64_t hash = fnv1a_offset_basis;
+    fnv1a_mix(hash, static_cast<std::uint64_t>(settings.harmonic_k));
+    fnv1a_mix(hash, static_cast<std::uint64_t>(settings.n_per_period));
+    fnv1a_mix(hash, static_cast<std::uint64_t>(settings.periods));
+    fnv1a_mix(hash, std::uint64_t{settings.offset == offset_mode::chopped ? 1U : 0U});
+    return hash;
+}
+
+} // namespace
+
+std::shared_ptr<const demod_tables>
+demod_table_cache::get(const acquisition_settings& settings) {
+    const std::uint64_t key = tables_key(settings);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second->matches(settings)) {
+            return it->second;
+        }
+    }
+    // Build outside the lock (tables for long acquisitions are sizeable);
+    // concurrent builders produce identical tables, last store wins.
+    auto built = std::make_shared<const demod_tables>(demod_tables::build(settings));
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = built;
+    return built;
+}
+
+std::uint64_t calibration_share::key_hash(const sd::modulator_params& params,
+                                          std::uint64_t seed, std::size_t periods,
+                                          std::size_t n_per_period) {
+    std::uint64_t hash = fnv1a_offset_basis;
+    fnv1a_mix(hash, seed);
+    fnv1a_mix(hash, static_cast<std::uint64_t>(periods));
+    fnv1a_mix(hash, static_cast<std::uint64_t>(n_per_period));
+    fnv1a_mix(hash, params.ci_over_cf);
+    fnv1a_mix(hash, params.vref);
+    fnv1a_mix(hash, params.dc_gain_db);
+    fnv1a_mix(hash, params.settling_error);
+    fnv1a_mix(hash, params.integrator_swing);
+    fnv1a_mix(hash, params.input_offset);
+    fnv1a_mix(hash, params.comparator_offset);
+    fnv1a_mix(hash, params.comparator_hysteresis);
+    fnv1a_mix(hash, params.noise_rms);
+    return hash;
+}
+
+std::shared_ptr<const calibration_snapshot>
+calibration_share::find(const sd::modulator_params& params, std::uint64_t seed,
+                        std::size_t periods, std::size_t n_per_period) {
+    const std::uint64_t key = key_hash(params, seed, periods, n_per_period);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || !(it->second->params == params)) {
+        return nullptr;
+    }
+    return it->second;
+}
+
+void calibration_share::store(std::uint64_t seed, std::size_t periods,
+                              std::size_t n_per_period, calibration_snapshot snapshot) {
+    const std::uint64_t key = key_hash(snapshot.params, seed, periods, n_per_period);
+    auto shared = std::make_shared<const calibration_snapshot>(std::move(snapshot));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() >= max_entries && entries_.find(key) == entries_.end()) {
+        return;
+    }
+    entries_[key] = std::move(shared);
+}
+
+std::size_t calibration_share::entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace bistna::eval

@@ -1,0 +1,75 @@
+// Shared acquisition resources for the lane-major fast paths (extension).
+//
+// Every acquire call used to rebuild the per-sample demodulation control
+// tables (the q_k square-wave signs and the counter accumulation sign) and
+// every lane used to run its own grounded-input offset calibration.  Both
+// are pure functions of a handful of parameters, so the sweep engine keeps
+// them in thread-safe shared caches:
+//
+//  - demod_table_cache maps acquisition settings to immutable sign tables,
+//    built once per program stage and reused by every work item;
+//  - calibration_share transplants the post-calibration extractor state
+//    between lanes constructed with the same modulator params and seed.
+//    Calibration consumes two RNG spawns and produces rates that are a pure
+//    function of (params, stream position, length), so restoring a snapshot
+//    into such a lane is bit-identical to the lane calibrating itself --
+//    the restore verifies the stream position and params match before
+//    adopting anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "eval/signature.hpp"
+#include "sd/modulator.hpp"
+
+namespace bistna::eval {
+
+/// Thread-safe cache of demod_tables keyed on the settings that shape them
+/// (harmonic, period counts, chopping).  Entries are immutable and shared.
+class demod_table_cache {
+public:
+    /// The tables for `settings`, built on first use.
+    std::shared_ptr<const demod_tables> get(const acquisition_settings& settings);
+
+private:
+    std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const demod_tables>> entries_;
+};
+
+/// Thread-safe map of calibration snapshots keyed on (modulator params,
+/// seed, calibration length).  find/store race benignly: the snapshot for a
+/// key is unique (a pure function of the key), so double stores are
+/// idempotent and a miss merely costs one redundant calibration.
+class calibration_share {
+public:
+    /// Snapshot for lanes constructed with these params and seed, or null.
+    std::shared_ptr<const calibration_snapshot>
+    find(const sd::modulator_params& params, std::uint64_t seed, std::size_t periods,
+         std::size_t n_per_period);
+
+    /// Publish a snapshot for the key.  Ignored (cache full) beyond a size
+    /// cap -- correctness never depends on a store landing.
+    void store(std::uint64_t seed, std::size_t periods, std::size_t n_per_period,
+               calibration_snapshot snapshot);
+
+    std::size_t entries() const;
+
+private:
+    static std::uint64_t key_hash(const sd::modulator_params& params, std::uint64_t seed,
+                                  std::size_t periods, std::size_t n_per_period);
+
+    /// Growth cap: screening shares one evaluator config across a whole
+    /// lot, so a handful of entries covers real batches; mixed-seed
+    /// acquisition batches stop publishing here instead of growing without
+    /// bound.
+    static constexpr std::size_t max_entries = 4096;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const calibration_snapshot>> entries_;
+};
+
+} // namespace bistna::eval

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "eval/acquire_plan.hpp"
 
 namespace bistna::eval {
 
@@ -47,34 +48,152 @@ acquisition_settings batch_evaluator::settings_for(std::size_t k,
 
 void batch_evaluator::calibrate() { ensure_calibrated(all_lanes_); }
 
+void batch_evaluator::set_shared_resources(demod_table_cache* tables, arena* scratch,
+                                           calibration_share* calibration) noexcept {
+    shared_tables_ = tables;
+    scratch_ = scratch;
+    calibration_share_ = calibration;
+}
+
+std::shared_ptr<const demod_tables>
+batch_evaluator::tables_for(const acquisition_settings& settings) {
+    if (shared_tables_ != nullptr) {
+        return shared_tables_->get(settings);
+    }
+    return std::make_shared<const demod_tables>(demod_tables::build(settings));
+}
+
 void batch_evaluator::ensure_calibrated(std::span<const std::size_t> lane_ids) {
     if (configs_.front().offset != offset_mode::calibrated) {
         return;
     }
-    std::vector<signature_extractor*> pending;
+    const std::size_t cal_periods = configs_.front().calibration_periods;
+    const std::size_t n = configs_.front().n_per_period;
+    std::vector<std::size_t> pending;
     for (std::size_t lane : lane_ids) {
         BISTNA_EXPECTS(lane < lanes(), "lane index out of range");
         if (!extractors_[lane].offset_calibrated()) {
-            pending.push_back(&extractors_[lane]);
+            pending.push_back(lane);
+        }
+    }
+    if (pending.empty()) {
+        return;
+    }
+
+    // Adopt published snapshots where possible, then run the grounded loop
+    // for whatever remains and publish the outcome.  Restores verify params
+    // and stream position, so a transplanted lane is bit-identical to one
+    // that calibrated itself.
+    const auto restore_pass = [&](const std::vector<std::size_t>& lanes_in) {
+        std::vector<std::size_t> missed;
+        for (std::size_t lane : lanes_in) {
+            const auto snapshot = calibration_share_->find(
+                configs_[lane].modulator, configs_[lane].seed, cal_periods, n);
+            if (snapshot == nullptr ||
+                !extractors_[lane].try_restore_calibration(*snapshot)) {
+                missed.push_back(lane);
+            }
+        }
+        return missed;
+    };
+    const auto calibrate_lanes = [&](const std::vector<std::size_t>& lanes_in) {
+        std::vector<bistna::rng> before;
+        if (calibration_share_ != nullptr) {
+            before.reserve(lanes_in.size());
+            for (std::size_t lane : lanes_in) {
+                before.push_back(extractors_[lane].rng_state());
+            }
+        }
+        std::vector<signature_extractor*> pointers;
+        pointers.reserve(lanes_in.size());
+        for (std::size_t lane : lanes_in) {
+            pointers.push_back(&extractors_[lane]);
+        }
+        signature_extractor::calibrate_offset_batch(pointers, cal_periods, n);
+        if (calibration_share_ == nullptr) {
+            return;
+        }
+        for (std::size_t i = 0; i < lanes_in.size(); ++i) {
+            const std::size_t lane = lanes_in[i];
+            calibration_snapshot snapshot;
+            snapshot.params = configs_[lane].modulator;
+            snapshot.rng_before = before[i];
+            snapshot.rng_after = extractors_[lane].rng_state();
+            snapshot.offset_rate_1 = extractors_[lane].offset_rate_ch1();
+            snapshot.offset_rate_2 = extractors_[lane].offset_rate_ch2();
+            snapshot.calibration_samples = extractors_[lane].calibration_samples();
+            calibration_share_->store(configs_[lane].seed, cal_periods, n,
+                                      std::move(snapshot));
+        }
+    };
+
+    if (calibration_share_ != nullptr) {
+        pending = restore_pass(pending);
+        if (!pending.empty()) {
+            // A screening lot seeds every lane identically, so calibrating
+            // one exemplar and transplanting it covers the whole group even
+            // on the very first work item.
+            calibrate_lanes({pending.front()});
+            const std::vector<std::size_t> rest(pending.begin() + 1, pending.end());
+            pending = restore_pass(rest);
         }
     }
     if (!pending.empty()) {
-        signature_extractor::calibrate_offset_batch(
-            pending, configs_.front().calibration_periods, configs_.front().n_per_period);
+        calibrate_lanes(pending);
     }
+}
+
+std::vector<signature_extractor*>
+batch_evaluator::lane_pointers(std::span<const std::size_t> lane_ids) {
+    std::vector<signature_extractor*> out;
+    out.reserve(lane_ids.size());
+    for (std::size_t lane : lane_ids) {
+        BISTNA_EXPECTS(lane < lanes(), "lane index out of range");
+        out.push_back(&extractors_[lane]);
+    }
+    return out;
+}
+
+std::vector<harmonic_measurement> batch_evaluator::assemble_harmonics(
+    std::span<const std::size_t> lane_ids, const std::vector<signature_result>& sigs) {
+    std::vector<harmonic_measurement> out;
+    out.reserve(sigs.size());
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+        out.push_back(estimate_harmonic(sigs[i], configs_[lane_ids[i]].constants));
+    }
+    return out;
 }
 
 std::vector<dc_measurement> batch_evaluator::measure_dc(
     std::span<const std::span<const double>> records, std::size_t periods) {
     BISTNA_EXPECTS(records.size() == lanes(), "need exactly one record per lane");
     ensure_calibrated(all_lanes_);
-    std::vector<signature_extractor*> lane_ptrs;
-    lane_ptrs.reserve(lanes());
-    for (signature_extractor& extractor : extractors_) {
-        lane_ptrs.push_back(&extractor);
+    const auto lane_ptrs = lane_pointers(all_lanes_);
+    const acquisition_settings settings = settings_for(0, periods);
+    std::vector<signature_result> sigs;
+    if (scratch_ != nullptr) {
+        const auto tables = tables_for(settings);
+        sigs = signature_extractor::acquire_batch(lane_ptrs, records, settings, *tables,
+                                                  *scratch_);
+    } else {
+        sigs = signature_extractor::acquire_batch(lane_ptrs, records, settings);
     }
-    const auto sigs =
-        signature_extractor::acquire_batch(lane_ptrs, records, settings_for(0, periods));
+    std::vector<dc_measurement> out;
+    out.reserve(sigs.size());
+    for (const signature_result& sig : sigs) {
+        out.push_back(estimate_dc(sig));
+    }
+    return out;
+}
+
+std::vector<dc_measurement> batch_evaluator::measure_dc_lane_major(
+    const double* lane_major, std::size_t periods) {
+    ensure_calibrated(all_lanes_);
+    const auto lane_ptrs = lane_pointers(all_lanes_);
+    const acquisition_settings settings = settings_for(0, periods);
+    const auto tables = tables_for(settings);
+    const auto sigs = signature_extractor::acquire_batch_lane_major(lane_ptrs, lane_major,
+                                                                    settings, *tables);
     std::vector<dc_measurement> out;
     out.reserve(sigs.size());
     for (const signature_result& sig : sigs) {
@@ -95,21 +214,41 @@ std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes(
                    "need exactly one record per requested lane");
     ensure_calibrated(lane_ids);
 
-    std::vector<signature_extractor*> lanes;
-    lanes.reserve(lane_ids.size());
-    for (std::size_t lane : lane_ids) {
-        BISTNA_EXPECTS(lane < this->lanes(), "lane index out of range");
-        lanes.push_back(&extractors_[lane]);
+    const auto lane_ptrs = lane_pointers(lane_ids);
+    const acquisition_settings settings = settings_for(k, periods);
+    std::vector<signature_result> sigs;
+    if (scratch_ != nullptr) {
+        const auto tables = tables_for(settings);
+        sigs = signature_extractor::acquire_batch(lane_ptrs, records, settings, *tables,
+                                                  *scratch_);
+    } else {
+        sigs = signature_extractor::acquire_batch(lane_ptrs, records, settings);
     }
-    const auto sigs = signature_extractor::acquire_batch(lanes, records,
-                                                         settings_for(k, periods));
+    return assemble_harmonics(lane_ids, sigs);
+}
 
-    std::vector<harmonic_measurement> out;
-    out.reserve(sigs.size());
-    for (std::size_t i = 0; i < sigs.size(); ++i) {
-        out.push_back(estimate_harmonic(sigs[i], configs_[lane_ids[i]].constants));
-    }
-    return out;
+std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes_lane_major(
+    std::span<const std::size_t> lane_ids, const double* lane_major, std::size_t k,
+    std::size_t periods) {
+    ensure_calibrated(lane_ids);
+    const auto lane_ptrs = lane_pointers(lane_ids);
+    const acquisition_settings settings = settings_for(k, periods);
+    const auto tables = tables_for(settings);
+    const auto sigs = signature_extractor::acquire_batch_lane_major(lane_ptrs, lane_major,
+                                                                    settings, *tables);
+    return assemble_harmonics(lane_ids, sigs);
+}
+
+std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes_shared(
+    std::span<const std::size_t> lane_ids, std::span<const double> record, std::size_t k,
+    std::size_t periods) {
+    ensure_calibrated(lane_ids);
+    const auto lane_ptrs = lane_pointers(lane_ids);
+    const acquisition_settings settings = settings_for(k, periods);
+    const auto tables = tables_for(settings);
+    const auto sigs = signature_extractor::acquire_batch_shared(lane_ptrs, record,
+                                                                settings, *tables);
+    return assemble_harmonics(lane_ids, sigs);
 }
 
 std::vector<thd_measurement> batch_evaluator::measure_thd(
@@ -131,6 +270,31 @@ std::vector<thd_measurement> batch_evaluator::measure_thd_lanes(
             continue; // documented: harmonics violating N mod 4k == 0 are skipped
         }
         const auto harmonics = measure_harmonic_lanes(lane_ids, records, k, periods);
+        for (std::size_t i = 0; i < lane_ids.size(); ++i) {
+            per_lane[i].push_back(harmonics[i].amplitude);
+        }
+    }
+
+    std::vector<thd_measurement> out;
+    out.reserve(lane_ids.size());
+    for (std::size_t i = 0; i < lane_ids.size(); ++i) {
+        out.push_back(compute_thd_lenient(per_lane[i]));
+    }
+    return out;
+}
+
+std::vector<thd_measurement> batch_evaluator::measure_thd_lanes_lane_major(
+    std::span<const std::size_t> lane_ids, const double* lane_major,
+    std::size_t max_harmonic, std::size_t periods) {
+    BISTNA_EXPECTS(max_harmonic >= 2, "THD needs at least harmonics 1..2");
+
+    std::vector<std::vector<amplitude_measurement>> per_lane(lane_ids.size());
+    for (std::size_t k = 1; k <= max_harmonic; ++k) {
+        if (!demod_reference::alignment_ok(k, configs_.front().n_per_period)) {
+            continue; // documented: harmonics violating N mod 4k == 0 are skipped
+        }
+        const auto harmonics =
+            measure_harmonic_lanes_lane_major(lane_ids, lane_major, k, periods);
         for (std::size_t i = 0; i < lane_ids.size(); ++i) {
             per_lane[i].push_back(harmonics[i].amplitude);
         }

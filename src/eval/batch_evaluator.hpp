@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,7 +23,14 @@
 #include "eval/evaluator.hpp"
 #include "eval/signature.hpp"
 
+namespace bistna {
+class arena;
+} // namespace bistna
+
 namespace bistna::eval {
+
+class demod_table_cache;
+class calibration_share;
 
 class batch_evaluator {
 public:
@@ -32,6 +40,16 @@ public:
     explicit batch_evaluator(std::vector<evaluator_config> configs);
 
     std::size_t lanes() const noexcept { return configs_.size(); }
+
+    /// Attach the engine's shared fast-path resources, all optional and all
+    /// bit-identical to the plain path: `tables` caches the per-stage
+    /// demodulation sign tables across work items, `scratch` bump-allocates
+    /// the transpose scratch of span-based acquisitions, and `calibration`
+    /// transplants post-calibration state between lanes with identical
+    /// (params, seed) instead of re-running the grounded calibration --
+    /// the dominant per-die cost of a screening flow.
+    void set_shared_resources(demod_table_cache* tables, arena* scratch,
+                              calibration_share* calibration) noexcept;
 
     /// One-time batched offset calibration of every not-yet-calibrated
     /// lane (automatic on first use when the offset mode requires it).
@@ -70,16 +88,52 @@ public:
         std::span<const std::span<const double>> records, std::size_t max_harmonic,
         std::size_t periods);
 
+    // --- Lane-major fast paths (the roofline render->measure pipeline) ----
+    //
+    // Records arrive as one lane-major block -- row i of sample n at
+    // lane_major[n * lane_ids.size() + i], exactly what
+    // dut::state_space_bank emits -- or as a single record shared by every
+    // requested lane (the cache-shared calibration staircase).  Per-lane
+    // results are bit-identical to the span-based methods above at any lane
+    // count.
+
+    /// Harmonic k of the requested lanes over a lane-major record block.
+    std::vector<harmonic_measurement> measure_harmonic_lanes_lane_major(
+        std::span<const std::size_t> lane_ids, const double* lane_major, std::size_t k,
+        std::size_t periods);
+
+    /// THD of the requested lanes over a lane-major record block.
+    std::vector<thd_measurement> measure_thd_lanes_lane_major(
+        std::span<const std::size_t> lane_ids, const double* lane_major,
+        std::size_t max_harmonic, std::size_t periods);
+
+    /// Harmonic k of the requested lanes over one shared record.
+    std::vector<harmonic_measurement> measure_harmonic_lanes_shared(
+        std::span<const std::size_t> lane_ids, std::span<const double> record,
+        std::size_t k, std::size_t periods);
+
+    /// DC level of every lane over a lane-major record block.
+    std::vector<dc_measurement> measure_dc_lane_major(const double* lane_major,
+                                                      std::size_t periods);
+
     signature_extractor& extractor(std::size_t lane);
     const evaluator_config& config(std::size_t lane) const;
 
 private:
     acquisition_settings settings_for(std::size_t k, std::size_t periods) const;
     void ensure_calibrated(std::span<const std::size_t> lane_ids);
+    std::vector<signature_extractor*> lane_pointers(std::span<const std::size_t> lane_ids);
+    /// Tables for `settings` from the shared cache, or built locally.
+    std::shared_ptr<const demod_tables> tables_for(const acquisition_settings& settings);
+    std::vector<harmonic_measurement> assemble_harmonics(
+        std::span<const std::size_t> lane_ids, const std::vector<signature_result>& sigs);
 
     std::vector<evaluator_config> configs_;
     std::vector<signature_extractor> extractors_;
     std::vector<std::size_t> all_lanes_;
+    demod_table_cache* shared_tables_ = nullptr;
+    arena* scratch_ = nullptr;
+    calibration_share* calibration_share_ = nullptr;
 };
 
 } // namespace bistna::eval

@@ -2,10 +2,46 @@
 
 #include <algorithm>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "sd/modulator_bank.hpp"
 
 namespace bistna::eval {
+
+demod_tables demod_tables::build(const acquisition_settings& settings) {
+    const demod_reference demod(settings.harmonic_k, settings.n_per_period);
+    const std::size_t total = settings.periods * settings.n_per_period;
+    const std::size_t half = total / 2;
+    const bool chop = settings.offset == offset_mode::chopped;
+
+    demod_tables tables;
+    tables.harmonic_k = settings.harmonic_k;
+    tables.n_per_period = settings.n_per_period;
+    tables.periods = settings.periods;
+    tables.chopped = chop;
+    tables.q1.resize(total);
+    tables.q2.resize(total);
+    tables.q1_sign.resize(total);
+    tables.q2_sign.resize(total);
+    tables.acc_sign.resize(total);
+    for (std::size_t n = 0; n < total; ++n) {
+        const bool invert = chop && n >= half;
+        const bool q1 = (demod.in_phase_sign(n) > 0) != invert;
+        const bool q2 = (demod.quadrature_sign(n) > 0) != invert;
+        tables.q1[n] = q1 ? 1 : 0;
+        tables.q2[n] = q2 ? 1 : 0;
+        tables.q1_sign[n] = q1 ? 1.0 : -1.0;
+        tables.q2_sign[n] = q2 ? 1.0 : -1.0;
+        tables.acc_sign[n] = invert ? -1.0 : 1.0;
+    }
+    return tables;
+}
+
+bool demod_tables::matches(const acquisition_settings& settings) const noexcept {
+    return harmonic_k == settings.harmonic_k && n_per_period == settings.n_per_period &&
+           periods == settings.periods &&
+           chopped == (settings.offset == offset_mode::chopped);
+}
 
 signature_extractor::signature_extractor(sd::modulator_params params, std::uint64_t seed)
     : params_(params), rng_(seed) {}
@@ -25,6 +61,19 @@ void signature_extractor::calibrate_offset(std::size_t periods, std::size_t n_pe
     offset_rate_2_ = static_cast<double>(acc2) / static_cast<double>(total);
     calibration_samples_ = static_cast<double>(total);
     calibrated_ = true;
+}
+
+bool signature_extractor::try_restore_calibration(
+    const calibration_snapshot& snapshot) noexcept {
+    if (calibrated_ || !(params_ == snapshot.params) || !(rng_ == snapshot.rng_before)) {
+        return false;
+    }
+    rng_ = snapshot.rng_after;
+    offset_rate_1_ = snapshot.offset_rate_1;
+    offset_rate_2_ = snapshot.offset_rate_2;
+    calibration_samples_ = snapshot.calibration_samples;
+    calibrated_ = true;
+    return true;
 }
 
 void signature_extractor::validate(const acquisition_settings& settings) const {
@@ -105,21 +154,19 @@ signature_result signature_extractor::acquire(const sample_source& source,
     return result;
 }
 
-std::vector<signature_result> signature_extractor::acquire_batch(
-    std::span<signature_extractor* const> extractors,
-    std::span<const std::span<const double>> records, const acquisition_settings& settings) {
+template <typename Accumulate>
+std::vector<signature_result> signature_extractor::acquire_batch_impl(
+    std::span<signature_extractor* const> extractors, const acquisition_settings& settings,
+    const demod_tables& tables, Accumulate&& accumulate) {
     BISTNA_EXPECTS(!extractors.empty(), "batch acquisition needs at least one lane");
-    BISTNA_EXPECTS(extractors.size() == records.size(),
-                   "batch acquisition needs one record per lane");
+    BISTNA_EXPECTS(tables.matches(settings),
+                   "demod tables do not match the acquisition settings");
     for (signature_extractor* extractor : extractors) {
         BISTNA_EXPECTS(extractor != nullptr, "null extractor lane");
         extractor->validate(settings);
     }
 
-    const demod_reference demod(settings.harmonic_k, settings.n_per_period);
     const std::size_t total = settings.periods * settings.n_per_period;
-    const std::size_t half = total / 2;
-    const bool chop = settings.offset == offset_mode::chopped;
     const std::size_t n_lanes = extractors.size();
 
     // Build the matched modulator pair of every lane.  Per lane the RNG
@@ -127,30 +174,14 @@ std::vector<signature_result> signature_extractor::acquire_batch(
     // ch2, then (optionally) draw the two initial states.
     sd::modulator_bank bank1;
     sd::modulator_bank bank2;
-    std::vector<const double*> lane_records(n_lanes);
     for (std::size_t l = 0; l < n_lanes; ++l) {
         signature_extractor& ex = *extractors[l];
-        BISTNA_EXPECTS(records[l].size() >= total, "lane record shorter than M*N samples");
         bank1.add_lane(ex.params_, ex.rng_.spawn());
         bank2.add_lane(ex.params_, ex.rng_.spawn());
         if (settings.randomize_initial_state) {
             bank1.reset_lane(l, ex.initial_state());
             bank2.reset_lane(l, ex.initial_state());
         }
-        lane_records[l] = records[l].data();
-    }
-
-    // Per-sample demodulation controls, identical for every lane: the q_k
-    // square-wave signs for each channel and the counter accumulation sign
-    // (negated in the chopped second half).
-    std::vector<unsigned char> q1(total);
-    std::vector<unsigned char> q2(total);
-    std::vector<double> acc_sign(total);
-    for (std::size_t n = 0; n < total; ++n) {
-        const bool invert = chop && n >= half;
-        q1[n] = ((demod.in_phase_sign(n) > 0) != invert) ? 1 : 0;
-        q2[n] = ((demod.quadrature_sign(n) > 0) != invert) ? 1 : 0;
-        acc_sign[n] = invert ? -1.0 : 1.0;
     }
 
     // The two channels are independent modulators, so running bank1 over
@@ -159,8 +190,7 @@ std::vector<signature_result> signature_extractor::acquire_batch(
     // exact in double (total << 2^53).
     std::vector<double> acc1(n_lanes, 0.0);
     std::vector<double> acc2(n_lanes, 0.0);
-    bank1.accumulate(lane_records.data(), q1.data(), acc_sign.data(), total, acc1.data());
-    bank2.accumulate(lane_records.data(), q2.data(), acc_sign.data(), total, acc2.data());
+    accumulate(bank1, bank2, acc1.data(), acc2.data());
 
     std::vector<signature_result> results(n_lanes);
     for (std::size_t l = 0; l < n_lanes; ++l) {
@@ -193,6 +223,90 @@ std::vector<signature_result> signature_extractor::acquire_batch(
         }
     }
     return results;
+}
+
+namespace {
+
+/// Per-lane record pointers with the length precondition checked.
+std::vector<const double*> lane_record_pointers(
+    std::span<const std::span<const double>> records, std::size_t total) {
+    std::vector<const double*> pointers(records.size());
+    for (std::size_t l = 0; l < records.size(); ++l) {
+        BISTNA_EXPECTS(records[l].size() >= total, "lane record shorter than M*N samples");
+        pointers[l] = records[l].data();
+    }
+    return pointers;
+}
+
+} // namespace
+
+std::vector<signature_result> signature_extractor::acquire_batch(
+    std::span<signature_extractor* const> extractors,
+    std::span<const std::span<const double>> records, const acquisition_settings& settings) {
+    BISTNA_EXPECTS(extractors.size() == records.size(),
+                   "batch acquisition needs one record per lane");
+    const demod_tables tables = demod_tables::build(settings);
+    const std::size_t total = settings.periods * settings.n_per_period;
+    const auto lane_records = lane_record_pointers(records, total);
+    return acquire_batch_impl(
+        extractors, settings, tables,
+        [&](sd::modulator_bank& bank1, sd::modulator_bank& bank2, double* acc1,
+            double* acc2) {
+            bank1.accumulate(lane_records.data(), tables.q1.data(), tables.acc_sign.data(),
+                             total, acc1);
+            bank2.accumulate(lane_records.data(), tables.q2.data(), tables.acc_sign.data(),
+                             total, acc2);
+        });
+}
+
+std::vector<signature_result> signature_extractor::acquire_batch(
+    std::span<signature_extractor* const> extractors,
+    std::span<const std::span<const double>> records, const acquisition_settings& settings,
+    const demod_tables& tables, arena& scratch) {
+    BISTNA_EXPECTS(extractors.size() == records.size(),
+                   "batch acquisition needs one record per lane");
+    const std::size_t total = settings.periods * settings.n_per_period;
+    const auto lane_records = lane_record_pointers(records, total);
+    return acquire_batch_impl(
+        extractors, settings, tables,
+        [&](sd::modulator_bank& bank1, sd::modulator_bank& bank2, double* acc1,
+            double* acc2) {
+            bank1.accumulate(lane_records.data(), tables.q1.data(), tables.acc_sign.data(),
+                             total, acc1, scratch);
+            bank2.accumulate(lane_records.data(), tables.q2.data(), tables.acc_sign.data(),
+                             total, acc2, scratch);
+        });
+}
+
+std::vector<signature_result> signature_extractor::acquire_batch_lane_major(
+    std::span<signature_extractor* const> extractors, const double* lane_major,
+    const acquisition_settings& settings, const demod_tables& tables) {
+    const std::size_t total = settings.periods * settings.n_per_period;
+    return acquire_batch_impl(
+        extractors, settings, tables,
+        [&](sd::modulator_bank& bank1, sd::modulator_bank& bank2, double* acc1,
+            double* acc2) {
+            bank1.accumulate_lane_major(lane_major, tables.q1_sign.data(),
+                                        tables.acc_sign.data(), total, acc1);
+            bank2.accumulate_lane_major(lane_major, tables.q2_sign.data(),
+                                        tables.acc_sign.data(), total, acc2);
+        });
+}
+
+std::vector<signature_result> signature_extractor::acquire_batch_shared(
+    std::span<signature_extractor* const> extractors, std::span<const double> record,
+    const acquisition_settings& settings, const demod_tables& tables) {
+    const std::size_t total = settings.periods * settings.n_per_period;
+    BISTNA_EXPECTS(record.size() >= total, "shared record shorter than M*N samples");
+    return acquire_batch_impl(
+        extractors, settings, tables,
+        [&](sd::modulator_bank& bank1, sd::modulator_bank& bank2, double* acc1,
+            double* acc2) {
+            bank1.accumulate_shared(record.data(), tables.q1_sign.data(),
+                                    tables.acc_sign.data(), total, acc1);
+            bank2.accumulate_shared(record.data(), tables.q2_sign.data(),
+                                    tables.acc_sign.data(), total, acc2);
+        });
 }
 
 void signature_extractor::calibrate_offset_batch(

@@ -21,6 +21,10 @@
 #include "eval/square_wave.hpp"
 #include "sd/modulator.hpp"
 
+namespace bistna {
+class arena;
+} // namespace bistna
+
 namespace bistna::eval {
 
 enum class offset_mode { none, calibrated, chopped };
@@ -52,6 +56,39 @@ struct signature_result {
     double vref = 0.7;            ///< modulator full scale used
 };
 
+/// Per-sample demodulation program of one acquisition: the q_k square-wave
+/// controls of both channels -- as the modulator bank's unsigned chars and
+/// as the exact +/-1 doubles the lane-major kernels consume -- plus the
+/// counter accumulation sign (negated in the chopped second half).  A pure
+/// function of the settings, so the sweep engine builds each table once
+/// (eval::demod_table_cache) and shares it across every work item.
+struct demod_tables {
+    std::vector<unsigned char> q1, q2;    ///< nonzero = positive modulation
+    std::vector<double> q1_sign, q2_sign; ///< the same controls as exact +/-1
+    std::vector<double> acc_sign;         ///< counter accumulation sign
+    std::size_t harmonic_k = 0;
+    std::size_t n_per_period = 0;
+    std::size_t periods = 0;
+    bool chopped = false;
+
+    static demod_tables build(const acquisition_settings& settings);
+    bool matches(const acquisition_settings& settings) const noexcept;
+};
+
+/// One lane's post-calibration state, transplantable into any extractor
+/// constructed with the same modulator params whose RNG stream still sits
+/// at the snapshot's origin: calibration consumes two spawns and produces
+/// rates that are a pure function of (params, stream position, length), so
+/// restoring is bit-identical to the lane running calibrate_offset itself.
+struct calibration_snapshot {
+    sd::modulator_params params;
+    bistna::rng rng_before{0}; ///< stream position the calibration consumed from
+    bistna::rng rng_after{0};  ///< stream position after its two spawns
+    double offset_rate_1 = 0.0;
+    double offset_rate_2 = 0.0;
+    double calibration_samples = 0.0;
+};
+
 /// The acquisition engine: owns the matched modulator pair.
 class signature_extractor {
 public:
@@ -64,6 +101,17 @@ public:
     bool offset_calibrated() const noexcept { return calibrated_; }
     double offset_rate_ch1() const noexcept { return offset_rate_1_; }
     double offset_rate_ch2() const noexcept { return offset_rate_2_; }
+    double calibration_samples() const noexcept { return calibration_samples_; }
+
+    /// Current RNG stream position (calibration-snapshot bookkeeping).
+    const bistna::rng& rng_state() const noexcept { return rng_; }
+
+    /// Adopt a calibration snapshot captured on a lane with identical
+    /// params and stream position -- bit-identical to running
+    /// calibrate_offset here.  Returns false (and changes nothing) when
+    /// this lane is already calibrated or its params/stream position do not
+    /// match the snapshot's origin.
+    bool try_restore_calibration(const calibration_snapshot& snapshot) noexcept;
 
     /// Acquire signatures for one measurement.
     signature_result acquire(const sample_source& source, const acquisition_settings& settings);
@@ -100,9 +148,48 @@ public:
                                        std::size_t periods = 4096,
                                        std::size_t n_per_period = 96);
 
+    // --- Lane-major fast paths (the sweep workers' roofline pipeline) -----
+    //
+    // Same contract as acquire_batch -- per-lane bit-identity to the scalar
+    // acquire at any lane count -- with the per-call table build and heap
+    // churn removed: demodulation signs come from a prebuilt demod_tables
+    // (eval::demod_table_cache) and transpose scratch from the worker's
+    // arena.
+
+    /// acquire_batch with prebuilt tables and arena transpose scratch.
+    static std::vector<signature_result> acquire_batch(
+        std::span<signature_extractor* const> extractors,
+        std::span<const std::span<const double>> records,
+        const acquisition_settings& settings, const demod_tables& tables,
+        arena& scratch);
+
+    /// Batched acquire over one lane-major record block: lane i's sample n
+    /// lives at lane_major[n * extractors.size() + i] -- exactly the layout
+    /// dut::state_space_bank emits, so render feeds measure with no
+    /// transpose at all.
+    static std::vector<signature_result> acquire_batch_lane_major(
+        std::span<signature_extractor* const> extractors, const double* lane_major,
+        const acquisition_settings& settings, const demod_tables& tables);
+
+    /// Batched acquire over one record shared by every lane (the
+    /// calibration path's cache-shared staircase tail): no per-lane copy of
+    /// the broadcast input.
+    static std::vector<signature_result> acquire_batch_shared(
+        std::span<signature_extractor* const> extractors, std::span<const double> record,
+        const acquisition_settings& settings, const demod_tables& tables);
+
 private:
     void validate(const acquisition_settings& settings) const;
     double initial_state();
+
+    /// Shared skeleton of the batched acquires: validate, build the two
+    /// lockstep banks with the scalar RNG consumption order, run
+    /// `accumulate(bank1, bank2, acc1, acc2)`, assemble per-lane results.
+    template <typename Accumulate>
+    static std::vector<signature_result> acquire_batch_impl(
+        std::span<signature_extractor* const> extractors,
+        const acquisition_settings& settings, const demod_tables& tables,
+        Accumulate&& accumulate);
 
     sd::modulator_params params_;
     bistna::rng rng_;

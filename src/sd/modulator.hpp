@@ -49,6 +49,11 @@ struct modulator_params {
     /// the inverse of integrator_leak(), used by the diag fault model to
     /// express an integrator-leak fault directly on its severity axis.
     static double dc_gain_db_for_leak(double leak, double ci_over_cf = 0.4) noexcept;
+
+    /// Exact (bitwise-value) equality: two equal params drive bit-identical
+    /// modulators from equal RNG streams, the precondition of the
+    /// calibration-transplant fast path.
+    bool operator==(const modulator_params&) const noexcept = default;
 };
 
 class sd_modulator {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/kernel.hpp"
 
 namespace bistna::sd {
 
@@ -71,18 +72,10 @@ inline double advance_lane(const lane_view& v, bistna::rng* rngs, std::size_t l,
 // across lanes.
 // ---------------------------------------------------------------------------
 
-// Runtime-dispatched AVX2 clones where the toolchain supports them: AVX2
-// widens the lane vectors to 4 doubles and, crucially, does NOT enable FMA
-// contraction, so every clone produces the identical IEEE 754 results.
-// Sanitizer builds fall back to the plain kernel: target_clones emits an
-// ifunc resolver that runs during relocation, before the ASan/TSan
-// runtimes are initialized (TSan crashes outright at startup).
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
-#define BISTNA_BANK_KERNEL __attribute__((target_clones("default", "avx2")))
-#else
-#define BISTNA_BANK_KERNEL
-#endif
+// Runtime-dispatched AVX2 clones where the toolchain supports them (see
+// common/kernel.hpp for why sanitizer builds fall back to the plain
+// kernel and why the clones stay bit-identical).
+#define BISTNA_BANK_KERNEL BISTNA_KERNEL_CLONES
 
 /// A block of lockstep samples over all lanes: xs is lane-major (sample
 /// j's inputs at xs[j * n_lanes], transposed by the caller), qsigns[j] /
@@ -109,6 +102,44 @@ void noiseless_block(std::size_t samples, std::size_t n_lanes, const double* __r
             const double bit = s >= threshold ? 1.0 : -1.0;
             last[l] = bit;
             const double modulated = qsign * x_row[l] + input_offset[l];
+            const double increment = b[l] * (modulated - bit * vref[l]);
+            const double next = leak[l] * s + increment * settle_gain[l];
+            const double lo = -swing[l];
+            const double hi = swing[l];
+            const double clipped = next < lo ? lo : (next > hi ? hi : next);
+            clip[l] += clipped != next ? 1.0 : 0.0;
+            state[l] = clipped;
+            acc[l] += sign * bit;
+        }
+    }
+}
+
+/// Broadcast variant: every lane consumes the *same* record (the
+/// cache-shared calibration staircase), so the per-sample input is one
+/// scalar load splat across the lane vectors instead of a lane-major row
+/// -- no transpose, no broadcast copy.
+BISTNA_BANK_KERNEL
+void noiseless_block_shared(std::size_t samples, std::size_t n_lanes,
+                            const double* __restrict xs, const double* __restrict qsigns,
+                            const double* __restrict signs, double* __restrict acc,
+                            double* __restrict state, double* __restrict last,
+                            const double* __restrict leak, const double* __restrict b,
+                            const double* __restrict vref,
+                            const double* __restrict input_offset,
+                            const double* __restrict settle_gain,
+                            const double* __restrict swing,
+                            const double* __restrict cmp_offset,
+                            const double* __restrict cmp_hyst,
+                            double* __restrict clip) noexcept {
+    for (std::size_t j = 0; j < samples; ++j) {
+        const double modulated_x = qsigns[j] * xs[j];
+        const double sign = signs[j];
+        for (std::size_t l = 0; l < n_lanes; ++l) {
+            const double s = state[l];
+            const double threshold = cmp_offset[l] + (-last[l]) * cmp_hyst[l] * 0.5;
+            const double bit = s >= threshold ? 1.0 : -1.0;
+            last[l] = bit;
+            const double modulated = modulated_x + input_offset[l];
             const double increment = b[l] * (modulated - bit * vref[l]);
             const double next = leak[l] * s + increment * settle_gain[l];
             const double lo = -swing[l];
@@ -193,6 +224,89 @@ void modulator_bank::step(const double* inputs, bool modulation_positive,
             bits_out[l] =
                 advance_lane<false>(v, rng_.data(), l, inputs[l], modulation_positive);
         }
+    }
+}
+
+void modulator_bank::accumulate_lane_major(const double* xs, const double* qsigns,
+                                           const double* acc_signs, std::size_t count,
+                                           double* acc) noexcept {
+    const std::size_t n_lanes = lanes();
+    if (any_noise_) {
+        const lane_view v{state_.data(),       last_.data(),      leak_.data(),
+                          b_.data(),           vref_.data(),      input_offset_.data(),
+                          settle_gain_.data(), swing_.data(),     cmp_offset_.data(),
+                          cmp_hyst_.data(),    noise_rms_.data(), clip_.data()};
+        for (std::size_t n = 0; n < count; ++n) {
+            const bool q = qsigns[n] > 0.0;
+            const double sign = acc_signs[n];
+            const double* row = xs + n * n_lanes;
+            for (std::size_t l = 0; l < n_lanes; ++l) {
+                acc[l] += sign * advance_lane<true>(v, rng_.data(), l, row[l], q);
+            }
+        }
+        return;
+    }
+    // The record is already lane-major: the lockstep kernel consumes it
+    // directly, with no per-call transpose at all.
+    noiseless_block(count, n_lanes, xs, qsigns, acc_signs, acc, state_.data(),
+                    last_.data(), leak_.data(), b_.data(), vref_.data(),
+                    input_offset_.data(), settle_gain_.data(), swing_.data(),
+                    cmp_offset_.data(), cmp_hyst_.data(), clip_.data());
+}
+
+void modulator_bank::accumulate_shared(const double* record, const double* qsigns,
+                                       const double* acc_signs, std::size_t count,
+                                       double* acc) noexcept {
+    const std::size_t n_lanes = lanes();
+    if (any_noise_) {
+        const lane_view v{state_.data(),       last_.data(),      leak_.data(),
+                          b_.data(),           vref_.data(),      input_offset_.data(),
+                          settle_gain_.data(), swing_.data(),     cmp_offset_.data(),
+                          cmp_hyst_.data(),    noise_rms_.data(), clip_.data()};
+        for (std::size_t n = 0; n < count; ++n) {
+            const bool q = qsigns[n] > 0.0;
+            const double sign = acc_signs[n];
+            for (std::size_t l = 0; l < n_lanes; ++l) {
+                acc[l] += sign * advance_lane<true>(v, rng_.data(), l, record[n], q);
+            }
+        }
+        return;
+    }
+    noiseless_block_shared(count, n_lanes, record, qsigns, acc_signs, acc, state_.data(),
+                           last_.data(), leak_.data(), b_.data(), vref_.data(),
+                           input_offset_.data(), settle_gain_.data(), swing_.data(),
+                           cmp_offset_.data(), cmp_hyst_.data(), clip_.data());
+}
+
+void modulator_bank::accumulate(const double* const* records, const unsigned char* qs,
+                                const double* acc_signs, std::size_t count, double* acc,
+                                arena& scratch) noexcept {
+    const std::size_t n_lanes = lanes();
+    if (any_noise_) {
+        accumulate(records, qs, acc_signs, count, acc);
+        return;
+    }
+    // Same blocked transpose as the allocating overload, with the scratch
+    // rows bump-allocated from the worker's arena instead of the heap.
+    constexpr std::size_t block = 128;
+    const auto transposed = scratch.allocate<double>(block * n_lanes);
+    const auto qsigns = scratch.allocate<double>(block);
+    for (std::size_t n0 = 0; n0 < count; n0 += block) {
+        const std::size_t samples = std::min(block, count - n0);
+        for (std::size_t l = 0; l < n_lanes; ++l) {
+            const double* __restrict record = records[l] + n0;
+            double* __restrict column = transposed.data() + l;
+            for (std::size_t j = 0; j < samples; ++j) {
+                column[j * n_lanes] = record[j];
+            }
+        }
+        for (std::size_t j = 0; j < samples; ++j) {
+            qsigns[j] = qs[n0 + j] != 0 ? 1.0 : -1.0;
+        }
+        noiseless_block(samples, n_lanes, transposed.data(), qsigns.data(), acc_signs + n0,
+                        acc, state_.data(), last_.data(), leak_.data(), b_.data(),
+                        vref_.data(), input_offset_.data(), settle_gain_.data(),
+                        swing_.data(), cmp_offset_.data(), cmp_hyst_.data(), clip_.data());
     }
 }
 
