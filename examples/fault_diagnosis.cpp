@@ -17,13 +17,12 @@
 // record store as the dice stream off their jobs.
 #include <cmath>
 #include <cstdint>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/job_queue.hpp"
 #include "core/screening.hpp"
@@ -39,39 +38,6 @@
 namespace {
 
 using namespace bistna;
-
-/// Parse "--name=value" from argv; returns fallback when absent.
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return std::strtod(argv[i] + prefix.size(), nullptr);
-        }
-    }
-    return fallback;
-}
-
-/// Parse a string-valued "--name=value" flag; empty when absent.
-std::string flag_text(int argc, char** argv, const char* name) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return std::string(argv[i] + prefix.size());
-        }
-    }
-    return {};
-}
-
-/// True when "--name=value" appears in argv at all.
-bool flag_present(int argc, char** argv, const char* name) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return true;
-        }
-    }
-    return false;
-}
 
 struct cell_outcome {
     std::size_t dice = 0;

@@ -20,13 +20,12 @@
 // run was killed mid-write.
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/job_queue.hpp"
 #include "core/screening.hpp"
@@ -39,38 +38,11 @@ namespace {
 
 using namespace bistna;
 
-/// Parse "--name=value" from argv; returns fallback when absent.
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return std::strtod(argv[i] + prefix.size(), nullptr);
-        }
-    }
-    return fallback;
-}
-
-/// Parse a string-valued "--name=value" flag; empty when absent.
-std::string flag_text(int argc, char** argv, const char* name) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return std::string(argv[i] + prefix.size());
-        }
-    }
-    return {};
-}
-
-/// True when "--name=value" appears in argv at all.
-bool flag_present(int argc, char** argv, const char* name) {
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-            return true;
-        }
-    }
-    return false;
-}
+/// Die seed of the lot's first die (lot die i = seed kFirstSeed + i); also
+/// the stored record id, matching what the shard runner's workers store,
+/// so an example --store file and a sharded run of the same lot are
+/// directly comparable.
+constexpr std::uint64_t kFirstSeed = 1;
 
 core::board_factory make_factory(double sigma) {
     return [sigma](std::uint64_t seed) {
@@ -81,11 +53,13 @@ core::board_factory make_factory(double sigma) {
     };
 }
 
-/// Screen the lot as a streamed job on the shared pool: pull reports as
-/// they complete, keeping a live yield line on screen.  When `store` is
-/// non-null every completed die is appended to it immediately -- the
-/// store fills in completion order while late dice are still measuring,
-/// and a crash loses at most the frame being written.
+/// Screen the lot as a streamed job on the shared pool: pull reports in
+/// die order, keeping a live yield line on screen.  When `store` is
+/// non-null every die is appended the moment it becomes deliverable
+/// in order -- the store's bytes are then deterministic (frames in die
+/// order, ids kFirstSeed + die) and byte-identical to what the shard
+/// runner's merged store holds for the same lot, while a crash still
+/// loses at most the buffered tail.
 std::vector<core::screening_report>
 screen_streamed(const core::board_factory& factory, const core::analyzer_settings& settings,
                 const core::spec_mask& mask, std::size_t dice, std::size_t batch_lanes,
@@ -97,13 +71,13 @@ screen_streamed(const core::board_factory& factory, const core::analyzer_setting
     core::sweep_engine engine(factory, settings, options);
 
     const auto start = std::chrono::steady_clock::now();
-    auto handle = engine.submit_screening(mask, dice, 1);
+    auto handle = engine.submit_screening(mask, dice, kFirstSeed);
     core::job_scope<core::screening_report> guard(handle);
     std::size_t failing = 0;
-    while (auto item = handle.next_completed()) {
+    while (auto item = handle.next_in_order()) {
         failing += item->value.passed ? 0 : 1;
         if (sink != nullptr) {
-            sink->append(store::to_record(item->value, item->index));
+            sink->append(store::to_record(item->value, kFirstSeed + item->index));
         }
         const std::size_t done = handle.completed_items();
         std::cout << "\r  " << (batch_lanes > 1 ? "batched" : "scalar ") << ": " << done

@@ -1,0 +1,88 @@
+// Multi-process lot runner: split a lot manifest into shards, fan them
+// across N worker processes, survive dead and straggler workers by retry,
+// and merge the shard stores into one lot store that is bit-identical to
+// a single-process run -- at any shard count, worker count and completion
+// order.
+//
+//   ./shard_coordinator --manifest=lot.json --out=lot.store
+//                       [--shards=N] [--workers=N] [--shard-dir=DIR]
+//                       [--worker=PATH] [--timeout-s=T] [--retries=N]
+//                       [--flush-interval=N]
+//
+// --workers caps the processes running at once (default: one per shard);
+// --worker points at the worker binary (default: shard_worker next to
+// this executable); --timeout-s enables straggler kill + retry;
+// --retries is the total attempts allowed per shard (default 3).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/cli.hpp"
+#include "shard/coordinator.hpp"
+
+int main(int argc, char** argv) {
+    using namespace bistna;
+
+    const std::string manifest_path = flag_text(argc, argv, "manifest");
+    const std::string out_path = flag_text(argc, argv, "out");
+    if (manifest_path.empty() || out_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: shard_coordinator --manifest=lot.json --out=lot.store\n"
+                     "  [--shards=N] [--workers=N] [--shard-dir=DIR] [--worker=PATH]\n"
+                     "  [--timeout-s=T] [--retries=N] [--flush-interval=N]\n");
+        return 2;
+    }
+
+    try {
+        const shard::lot_manifest manifest = shard::lot_manifest::load(manifest_path);
+
+        shard::supervisor_options options;
+        options.shards =
+            static_cast<std::size_t>(flag_value(argc, argv, "shards", 4.0));
+        options.max_processes =
+            static_cast<std::size_t>(flag_value(argc, argv, "workers", 0.0));
+        options.straggler_timeout_seconds = flag_value(argc, argv, "timeout-s", 0.0);
+        options.max_attempts =
+            static_cast<std::size_t>(flag_value(argc, argv, "retries", 3.0));
+        options.flush_interval =
+            static_cast<std::size_t>(flag_value(argc, argv, "flush-interval", 32.0));
+
+        options.shard_dir = flag_text(argc, argv, "shard-dir");
+        if (options.shard_dir.empty()) {
+            options.shard_dir = out_path + ".shards";
+        }
+
+        std::string worker = flag_text(argc, argv, "worker");
+        if (worker.empty()) {
+            // Default: the shard_worker binary built next to this one.
+            worker = (std::filesystem::path(argv[0]).parent_path() / "shard_worker")
+                         .string();
+        }
+        options.worker_command = {worker};
+        options.on_event = [](const std::string& line) {
+            std::printf("  %s\n", line.c_str());
+        };
+
+        std::printf("=== shard coordinator: %s lot, %llu units, %zu shards ===\n",
+                    shard::workload_name(manifest.workload),
+                    static_cast<unsigned long long>(manifest.total_units()),
+                    options.shards);
+
+        const shard::coordinator_report report =
+            shard::run_lot(manifest, out_path, options);
+
+        std::printf("merged %llu records (%llu seen, %llu duplicates dropped, "
+                    "%zu torn files) from %zu attempts (%zu retries) -> %s "
+                    "(%llu bytes)\n",
+                    static_cast<unsigned long long>(report.merge.records_merged),
+                    static_cast<unsigned long long>(report.merge.records_seen),
+                    static_cast<unsigned long long>(report.merge.duplicates_dropped),
+                    report.merge.torn_files, report.shards.attempts.size(),
+                    report.shards.retries, out_path.c_str(),
+                    static_cast<unsigned long long>(report.merge.bytes_written));
+        return 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "shard coordinator: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,10 @@
+// The shard worker executable the coordinator spawns: one process, one
+// contiguous unit range of a lot manifest, frames streamed to a record
+// store in global-id order.  All the logic lives in shard::worker_main so
+// the test binary can host the identical worker behind a dispatch flag.
+//
+//   ./shard_worker --manifest=lot.json --out=shard.store
+//                  [--first=N] [--count=N] [--flush-interval=N]
+#include "shard/worker.hpp"
+
+int main(int argc, char** argv) { return bistna::shard::worker_main(argc, argv); }

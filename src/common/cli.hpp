@@ -1,0 +1,47 @@
+// Tiny argv helpers shared by the example programs and the shard
+// executables: "--name=value" flags, nothing more.  Extracted from the
+// (formerly duplicated) copies in examples/screening_lot.cpp and
+// examples/fault_diagnosis.cpp so every command-line front end parses
+// flags the same way.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bistna {
+
+/// Parse "--name=value" from argv; returns fallback when absent.
+inline double flag_value(int argc, char** argv, const char* name, double fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::strtod(argv[i] + prefix.size(), nullptr);
+        }
+    }
+    return fallback;
+}
+
+/// Parse a string-valued "--name=value" flag; empty when absent.
+inline std::string flag_text(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::string(argv[i] + prefix.size());
+        }
+    }
+    return {};
+}
+
+/// True when "--name=value" appears in argv at all.
+inline bool flag_present(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace bistna

@@ -251,6 +251,33 @@ public:
         return streamed_item{index, ch.results[index]};
     }
 
+    /// Pull the next item in SUBMISSION-INDEX order, blocking until that
+    /// item completes: call k delivers item k, however the scheduler
+    /// interleaved the work.  This is what a consumer that must emit a
+    /// deterministic sequence (a shard worker streaming frames to disk, a
+    /// store-appending example) uses instead of next_completed -- the
+    /// stream's byte order then no longer depends on completion order.
+    /// Returns nullopt once every item was delivered, or -- on a cancelled
+    /// or failed job -- at the first item that will never complete (an
+    /// in-order consumer cannot skip a hole).  The cursor is local to this
+    /// handle copy and independent of the next_completed stream; do not
+    /// mix with the consuming results() && overload.
+    std::optional<streamed_item> next_in_order() {
+        auto& ch = channel();
+        std::unique_lock<std::mutex> lock(ch.mutex);
+        if (ordered_next_ >= ch.results.size()) {
+            return std::nullopt;
+        }
+        ch.cv.wait(lock, [&] {
+            return ch.item_completed[ordered_next_] || ch.state != job_state::running;
+        });
+        if (!ch.item_completed[ordered_next_]) {
+            return std::nullopt;
+        }
+        const std::size_t index = ordered_next_++;
+        return streamed_item{index, ch.results[index]};
+    }
+
     /// Wait, then return the full result vector in item order.  Rethrows
     /// the first worker exception of a failed job; throws
     /// configuration_error on a cancelled job (its slots have holes -- use
@@ -315,6 +342,8 @@ private:
     }
 
     std::shared_ptr<detail::job_channel<R>> channel_;
+    /// next_in_order() cursor (handle-local: each copy walks its own).
+    std::size_t ordered_next_ = 0;
 };
 
 /// RAII companion for a streaming consumer: cancels the job and waits for

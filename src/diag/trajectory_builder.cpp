@@ -43,11 +43,11 @@ std::vector<double> severity_grid(const fault_spec& spec, std::size_t grid_point
 
 } // namespace
 
-fault_dictionary build_dictionary(const die_design& design,
-                                  const core::analyzer_settings& settings,
-                                  const signature_space& space,
-                                  const std::vector<fault_spec>& faults,
-                                  const trajectory_build_options& options) {
+dictionary_plan make_dictionary_plan(const die_design& design,
+                                     const core::analyzer_settings& settings,
+                                     const signature_space& space,
+                                     const std::vector<fault_spec>& faults,
+                                     const trajectory_build_options& options) {
     BISTNA_EXPECTS(options.grid_points >= 1, "severity grid needs at least one point");
     BISTNA_EXPECTS(!space.frequencies_hz.empty(),
                    "signature space must measure at least one frequency");
@@ -95,36 +95,27 @@ fault_dictionary build_dictionary(const die_design& design,
         }
     }
 
-    core::sweep_engine_options engine_options;
-    engine_options.threads = options.threads;
-    engine_options.batch_lanes = options.batch_lanes;
-    engine_options.queue = options.queue;
-    core::sweep_engine engine(design.factory(), settings, engine_options);
-
-    core::sweep_engine::acquisition_program program;
-    program.frequencies.reserve(space.frequencies_hz.size());
+    dictionary_plan plan;
+    plan.items = std::move(items);
+    plan.program.frequencies.reserve(space.frequencies_hz.size());
     for (double f : space.frequencies_hz) {
-        program.frequencies.push_back(hertz{f});
+        plan.program.frequencies.push_back(hertz{f});
     }
     if (space.thd_max_harmonic >= 2) {
-        program.distortion_max_harmonic = space.thd_max_harmonic;
-        program.distortion_f = hertz{space.resolved_thd_f_hz()};
+        plan.program.distortion_max_harmonic = space.thd_max_harmonic;
+        plan.program.distortion_f = hertz{space.resolved_thd_f_hz()};
     }
+    return plan;
+}
 
-    // Streamed build: grid points complete in scheduling order and report
-    // progress as they land; the dictionary below is assembled from the
-    // index-addressed slots, so it is bit-identical to the blocking build.
-    core::job_handle<core::sweep_engine::acquisition_result>::item_callback on_item;
-    if (options.on_progress) {
-        auto completed = std::make_shared<std::atomic<std::size_t>>(0);
-        on_item = [completed, total = items.size(), progress = options.on_progress](
-                      std::size_t, const core::sweep_engine::acquisition_result&) {
-            progress(completed->fetch_add(1, std::memory_order_relaxed) + 1, total);
-        };
-    }
-    const auto results =
-        engine.submit_acquisition(std::move(items), std::move(program), std::move(on_item))
-            .results();
+fault_dictionary
+assemble_dictionary(const signature_space& space,
+                    const std::vector<fault_spec>& faults,
+                    std::size_t grid_points,
+                    const std::vector<core::sweep_engine::acquisition_result>& results) {
+    BISTNA_EXPECTS(grid_points >= 1, "severity grid needs at least one point");
+    BISTNA_EXPECTS(results.size() == 1 + faults.size() * grid_points,
+                   "dictionary assembly needs every plan item's result");
 
     fault_dictionary dictionary;
     dictionary.space = space;
@@ -133,14 +124,48 @@ fault_dictionary build_dictionary(const die_design& design,
     for (const auto& spec : faults) {
         fault_trajectory trajectory;
         trajectory.kind = spec.kind;
-        trajectory.points.reserve(options.grid_points);
-        for (double severity : severity_grid(spec, options.grid_points)) {
+        trajectory.points.reserve(grid_points);
+        for (double severity : severity_grid(spec, grid_points)) {
             trajectory.points.push_back(
                 trajectory_point{severity, space.from_acquisition(results[next++])});
         }
         dictionary.trajectories.push_back(std::move(trajectory));
     }
     return dictionary;
+}
+
+fault_dictionary build_dictionary(const die_design& design,
+                                  const core::analyzer_settings& settings,
+                                  const signature_space& space,
+                                  const std::vector<fault_spec>& faults,
+                                  const trajectory_build_options& options) {
+    dictionary_plan plan =
+        make_dictionary_plan(design, settings, space, faults, options);
+
+    core::sweep_engine_options engine_options;
+    engine_options.threads = options.threads;
+    engine_options.batch_lanes = options.batch_lanes;
+    engine_options.queue = options.queue;
+    core::sweep_engine engine(design.factory(), settings, engine_options);
+
+    // Streamed build: grid points complete in scheduling order and report
+    // progress as they land; the dictionary below is assembled from the
+    // index-addressed slots, so it is bit-identical to the blocking build.
+    core::job_handle<core::sweep_engine::acquisition_result>::item_callback on_item;
+    if (options.on_progress) {
+        auto completed = std::make_shared<std::atomic<std::size_t>>(0);
+        on_item = [completed, total = plan.items.size(),
+                   progress = options.on_progress](
+                      std::size_t, const core::sweep_engine::acquisition_result&) {
+            progress(completed->fetch_add(1, std::memory_order_relaxed) + 1, total);
+        };
+    }
+    const auto results = engine
+                             .submit_acquisition(std::move(plan.items),
+                                                 std::move(plan.program),
+                                                 std::move(on_item))
+                             .results();
+    return assemble_dictionary(space, faults, options.grid_points, results);
 }
 
 } // namespace bistna::diag

@@ -43,9 +43,39 @@ struct trajectory_build_options {
     std::shared_ptr<core::job_queue> queue = nullptr;
 };
 
+/// The deterministic item list + measurement program of a dictionary
+/// build: item 0 is the healthy reference, then grid_points items per
+/// catalog fault in catalog order.  Every item owns its evaluator seed
+/// (derived from its global index) and its render-sharing key, so any
+/// contiguous subrange of `items` can be acquired by a separate engine --
+/// or a separate *process* (the shard worker) -- and the combined results
+/// are bit-identical to one acquisition of the whole list.
+struct dictionary_plan {
+    std::vector<core::sweep_engine::acquisition_item> items;
+    core::sweep_engine::acquisition_program program;
+};
+
+/// Construct the plan.  Uses options.grid_points / nominal_seed /
+/// eval_seed_base only; engine-side options are the submitter's business.
+dictionary_plan make_dictionary_plan(const die_design& design,
+                                     const core::analyzer_settings& settings,
+                                     const signature_space& space,
+                                     const std::vector<fault_spec>& faults,
+                                     const trajectory_build_options& options = {});
+
+/// Fold the plan's acquisition results (all of them, in item order) into a
+/// dictionary.  `results.size()` must be 1 + faults.size() * grid_points.
+fault_dictionary
+assemble_dictionary(const signature_space& space,
+                    const std::vector<fault_spec>& faults,
+                    std::size_t grid_points,
+                    const std::vector<core::sweep_engine::acquisition_result>& results);
+
 /// Build the dictionary: one healthy acquisition plus grid_points
 /// acquisitions per catalog fault, signatures extracted into `space`.
 /// Deterministic and bit-identical at any thread or lane count.
+/// Equivalent to make_dictionary_plan -> submit_acquisition ->
+/// assemble_dictionary in one call.
 fault_dictionary build_dictionary(const die_design& design,
                                   const core::analyzer_settings& settings,
                                   const signature_space& space,

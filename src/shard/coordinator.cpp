@@ -1,0 +1,17 @@
+#include "shard/coordinator.hpp"
+
+namespace bistna::shard {
+
+coordinator_report run_lot(const lot_manifest& manifest,
+                           const std::string& out_path,
+                           const supervisor_options& options,
+                           const merge_options& merge) {
+    coordinator_report report;
+    report.shards = run_shards(manifest, options);
+    report.merge =
+        merge_shard_stores(report.shards.shard_files, out_path,
+                           manifest.record_id(0), manifest.total_units(), merge);
+    return report;
+}
+
+} // namespace bistna::shard

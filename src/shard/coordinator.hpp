@@ -1,0 +1,32 @@
+// Shard coordinator: the one-call multi-process lot runner.  Splits the
+// manifest's lot into shards, runs the worker fleet under the supervisor
+// (spawn, straggler kill, retry), then merges every attempt's output --
+// duplicates deduped, torn tails dropped -- into one lot store whose bytes
+// are identical to the store a single worker running the whole lot writes,
+// at any shard count, worker count and completion order.
+#pragma once
+
+#include <string>
+
+#include "shard/manifest.hpp"
+#include "shard/merger.hpp"
+#include "shard/supervisor.hpp"
+
+namespace bistna::shard {
+
+struct coordinator_report {
+    supervisor_result shards;
+    merge_stats merge;
+};
+
+/// Run the whole lot: supervise options.shards worker processes over the
+/// manifest, then merge their stores into `out_path`.  The merge covers
+/// ids [manifest.record_id(0), ... + total_units) exactly; any hole or
+/// divergent duplicate throws, so a returned report is a complete,
+/// verified lot.
+coordinator_report run_lot(const lot_manifest& manifest,
+                           const std::string& out_path,
+                           const supervisor_options& options,
+                           const merge_options& merge = {});
+
+} // namespace bistna::shard

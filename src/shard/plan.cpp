@@ -1,0 +1,22 @@
+#include "shard/plan.hpp"
+
+#include "common/error.hpp"
+
+namespace bistna::shard {
+
+std::vector<shard_range> plan_shards(std::uint64_t units, std::size_t shards) {
+    BISTNA_EXPECTS(shards > 0, "shard plan needs at least one shard");
+    std::vector<shard_range> plan;
+    plan.reserve(shards);
+    const std::uint64_t base = units / shards;
+    const std::uint64_t extra = units % shards;
+    std::uint64_t first = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::uint64_t count = base + (s < extra ? 1 : 0);
+        plan.push_back(shard_range{s, first, count});
+        first += count;
+    }
+    return plan;
+}
+
+} // namespace bistna::shard

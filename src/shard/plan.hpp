@@ -1,0 +1,25 @@
+// Shard plan: split a lot of `units` work units into `shards` contiguous
+// ranges.  Contiguity is what keeps a shard cheap to describe (two
+// numbers) and keeps the merged store's frame order equal to the
+// single-process order; balance is what keeps stragglers rare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bistna::shard {
+
+/// One shard's slice of the lot: global units [first, first + units).
+struct shard_range {
+    std::size_t index = 0;    ///< shard number in the plan
+    std::uint64_t first = 0;  ///< first global unit
+    std::uint64_t units = 0;  ///< unit count (may be 0 when shards > units)
+};
+
+/// Split `units` into `shards` contiguous ranges differing by at most one
+/// unit (the first units % shards ranges get the extra).  shards > units
+/// yields trailing empty ranges -- a worker handed one writes a valid
+/// empty store and exits cleanly.
+std::vector<shard_range> plan_shards(std::uint64_t units, std::size_t shards);
+
+} // namespace bistna::shard

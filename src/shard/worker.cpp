@@ -1,0 +1,181 @@
+#include "shard/worker.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "core/sweep_engine.hpp"
+#include "diag/fault_dictionary.hpp"
+#include "diag/trajectory_builder.hpp"
+#include "store/lot_store.hpp"
+#include "store/records.hpp"
+
+namespace bistna::shard {
+
+namespace {
+
+/// Die like a worker killed mid-write: flush the valid prefix, append a
+/// deliberately torn partial frame, and SIGKILL ourselves -- no unwinding,
+/// no destructor flush, exactly the crash the store's tail recovery and
+/// the supervisor's retry path exist for.
+[[noreturn]] void die_mid_frame(store::lot_store& out) {
+    out.flush();
+    {
+        std::ofstream torn(out.path(), std::ios::binary | std::ios::app);
+        const char partial[] = "\x01\x00\x34\x12torn";
+        torn.write(partial, sizeof(partial) - 1);
+        torn.flush();
+    }
+    std::raise(SIGKILL);
+    std::abort(); // unreachable; raise(SIGKILL) does not return
+}
+
+} // namespace
+
+worker_shard_report run_worker_shard(const lot_manifest& manifest,
+                                     const std::string& out_path,
+                                     const worker_shard_options& options) {
+    const std::uint64_t total = manifest.total_units();
+    BISTNA_EXPECTS(options.first_unit <= total &&
+                       options.units <= total - options.first_unit,
+                   "shard range exceeds the manifest's unit count");
+
+    if (options.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(options.stall_ms));
+    }
+
+    store::lot_store out =
+        store::lot_store::create(out_path, {options.flush_interval});
+    if (options.units == 0) {
+        // A valid empty store: header only.  Happens legitimately when the
+        // lot has fewer units than shards.
+        out.flush();
+        return worker_shard_report{0, out.bytes()};
+    }
+
+    const auto maybe_die = [&] {
+        if (options.kill_after_records > 0 &&
+            out.records_appended() >= options.kill_after_records) {
+            die_mid_frame(out);
+        }
+    };
+
+    if (manifest.workload == workload_kind::screening) {
+        core::sweep_engine engine(manifest.make_factory(), manifest.make_settings(),
+                                  manifest.make_engine_options());
+        auto handle = engine.submit_screening(
+            manifest.make_mask(), static_cast<std::size_t>(options.units),
+            manifest.first_seed + options.first_unit,
+            manifest.make_screening_options());
+        while (auto item = handle.next_in_order()) {
+            out.append(store::to_record(
+                item->value, manifest.record_id(options.first_unit + item->index)));
+            maybe_die();
+        }
+        if (auto error = handle.error()) {
+            std::rethrow_exception(error);
+        }
+    } else {
+        // The worker constructs the FULL deterministic plan and submits only
+        // its subrange: every item owns its global-index-derived evaluator
+        // seed and render key at construction, so a subrange acquisition is
+        // bit-identical per item to acquiring the whole list.
+        diag::trajectory_build_options build;
+        build.grid_points = manifest.grid_points;
+        build.nominal_seed = manifest.nominal_seed;
+        build.eval_seed_base = manifest.eval_seed_base;
+        const auto space = diag::signature_space::from_mask(
+            manifest.make_mask(), manifest.thd_max_harmonic);
+        diag::dictionary_plan plan =
+            diag::make_dictionary_plan(manifest.make_die_design(),
+                                       manifest.make_settings(), space,
+                                       diag::default_catalog(), build);
+
+        std::vector<core::sweep_engine::acquisition_item> slice(
+            std::make_move_iterator(plan.items.begin() + options.first_unit),
+            std::make_move_iterator(plan.items.begin() + options.first_unit +
+                                    options.units));
+        core::sweep_engine engine(manifest.make_die_design().factory(),
+                                  manifest.make_settings(),
+                                  manifest.make_engine_options());
+        auto handle =
+            engine.submit_acquisition(std::move(slice), std::move(plan.program));
+        while (auto item = handle.next_in_order()) {
+            out.append(store::to_record(
+                item->value, manifest.record_id(options.first_unit + item->index)));
+            maybe_die();
+        }
+        if (auto error = handle.error()) {
+            std::rethrow_exception(error);
+        }
+    }
+
+    out.flush();
+    BISTNA_EXPECTS(out.records_appended() == options.units,
+                   "shard worker lost records (job cancelled or failed)");
+    return worker_shard_report{out.records_appended(), out.bytes()};
+}
+
+int worker_main(int argc, char** argv) {
+    const std::string manifest_path = flag_text(argc, argv, "manifest");
+    const std::string out_path = flag_text(argc, argv, "out");
+    if (manifest_path.empty() || out_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: shard_worker --manifest=lot.json --out=shard.store\n"
+                     "  [--first=N] [--count=N] [--flush-interval=N] [--attempt=N]\n"
+                     "  fault injection (tests): [--kill-after-records=N "
+                     "--kill-attempt=N] [--stall-ms=N --stall-attempt=N]\n");
+        return 2;
+    }
+    try {
+        const lot_manifest manifest = lot_manifest::load(manifest_path);
+        const std::uint64_t total = manifest.total_units();
+
+        worker_shard_options options;
+        options.first_unit =
+            static_cast<std::uint64_t>(flag_value(argc, argv, "first", 0.0));
+        const std::uint64_t rest =
+            options.first_unit <= total ? total - options.first_unit : 0;
+        options.units = static_cast<std::uint64_t>(
+            flag_value(argc, argv, "count", static_cast<double>(rest)));
+        options.flush_interval = static_cast<std::size_t>(
+            flag_value(argc, argv, "flush-interval", 32.0));
+
+        // Injected faults fire only on the attempt they target, so a
+        // retried shard succeeds -- the shape every supervisor test needs.
+        const auto attempt =
+            static_cast<std::uint64_t>(flag_value(argc, argv, "attempt", 1.0));
+        if (flag_present(argc, argv, "kill-after-records") &&
+            attempt == static_cast<std::uint64_t>(
+                           flag_value(argc, argv, "kill-attempt", 1.0))) {
+            options.kill_after_records = static_cast<std::uint64_t>(
+                flag_value(argc, argv, "kill-after-records", 0.0));
+        }
+        if (flag_present(argc, argv, "stall-ms") &&
+            attempt == static_cast<std::uint64_t>(
+                           flag_value(argc, argv, "stall-attempt", 1.0))) {
+            options.stall_ms =
+                static_cast<std::uint64_t>(flag_value(argc, argv, "stall-ms", 0.0));
+        }
+
+        const worker_shard_report report =
+            run_worker_shard(manifest, out_path, options);
+        std::printf("shard worker: units [%llu, %llu) -> %llu records, %llu bytes, %s\n",
+                    static_cast<unsigned long long>(options.first_unit),
+                    static_cast<unsigned long long>(options.first_unit + options.units),
+                    static_cast<unsigned long long>(report.records),
+                    static_cast<unsigned long long>(report.bytes), out_path.c_str());
+        return 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "shard worker: %s\n", error.what());
+        return 1;
+    }
+}
+
+} // namespace bistna::shard

@@ -2,13 +2,22 @@
 
 #include <filesystem>
 
+#include "common/error.hpp"
+
 namespace bistna::store {
 
-lot_store lot_store::create(const std::string& path) {
-    return lot_store(std::make_unique<record_writer>(path, /*append=*/false), {});
+lot_store lot_store::create(const std::string& path,
+                            const lot_store_options& options) {
+    BISTNA_EXPECTS(options.flush_interval > 0,
+                   "lot_store flush_interval must be at least 1");
+    return lot_store(std::make_unique<record_writer>(path, /*append=*/false),
+                     {}, options);
 }
 
-lot_store lot_store::open_append(const std::string& path) {
+lot_store lot_store::open_append(const std::string& path,
+                                 const lot_store_options& options) {
+    BISTNA_EXPECTS(options.flush_interval > 0,
+                   "lot_store flush_interval must be at least 1");
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     if (ec || size == 0) {
@@ -17,7 +26,7 @@ lot_store lot_store::open_append(const std::string& path) {
         store_recovery recovery;
         recovery.existed = !ec;
         return lot_store(std::make_unique<record_writer>(path, /*append=*/false),
-                         std::move(recovery));
+                         std::move(recovery), options);
     }
 
     store_recovery recovery;
@@ -44,15 +53,25 @@ lot_store lot_store::open_append(const std::string& path) {
         std::filesystem::resize_file(path, recovery.valid_bytes);
     }
     return lot_store(std::make_unique<record_writer>(path, /*append=*/true),
-                     std::move(recovery));
+                     std::move(recovery), options);
 }
 
 void lot_store::append(const record& r) { append(r.type, r.payload); }
 
 void lot_store::append(record_type type, std::span<const std::uint8_t> payload) {
     writer_->append(type, payload);
-    writer_->flush();
     ++appended_;
+    if (++unflushed_ >= options_.flush_interval) {
+        flush();
+    }
+}
+
+void lot_store::flush() {
+    if (unflushed_ == 0) {
+        return;
+    }
+    writer_->flush();
+    unflushed_ = 0;
 }
 
 std::vector<record> lot_store::scan(const std::string& path) {

@@ -29,22 +29,42 @@ struct store_recovery {
     std::string tail_error;          ///< why it was rejected
 };
 
+/// Durability policy of a lot_store.
+struct lot_store_options {
+    /// Records between forced flushes.  1 (the default) flushes after
+    /// every append, so a crash never loses an appended record to a
+    /// library buffer.  N > 1 lets up to N records ride in the stream
+    /// buffer between flushes -- what a shard worker appending thousands
+    /// of small frames wants, since per-record flushing is syscall-bound.
+    /// Recovery is unaffected by the interval: a crash tears at most the
+    /// buffered tail, which the next open_append reports and truncates
+    /// (the file is a valid prefix plus at most one partial frame, exactly
+    /// the torn-write case the format was built for).
+    std::size_t flush_interval = 1;
+};
+
 class lot_store {
 public:
     /// Create (truncate) a fresh store at `path`.
-    static lot_store create(const std::string& path);
+    static lot_store create(const std::string& path,
+                            const lot_store_options& options = {});
 
     /// Open for appending.  A missing or zero-length file becomes a fresh
     /// store; an existing one is scanned frame by frame and truncated to
     /// its valid prefix when the tail is torn (see recovery()).  A file
     /// that is not a record store at all (bad magic/version/endianness)
     /// throws serialization_error rather than being overwritten.
-    static lot_store open_append(const std::string& path);
+    static lot_store open_append(const std::string& path,
+                                 const lot_store_options& options = {});
 
-    /// Append one record and flush it to the file, so a crash after
-    /// append() never loses that record to a library buffer.
+    /// Append one record; flushed to the file per the flush_interval
+    /// policy (every record by default).
     void append(const record& r);
     void append(record_type type, std::span<const std::uint8_t> payload);
+
+    /// Force buffered appends to the file (a no-op when nothing is
+    /// pending).  Also runs on destruction via the underlying stream.
+    void flush();
 
     const store_recovery& recovery() const noexcept { return recovery_; }
     /// Records appended through this handle (excludes recovered ones).
@@ -62,12 +82,16 @@ public:
     static std::vector<record> scan(const std::string& path);
 
 private:
-    lot_store(std::unique_ptr<record_writer> writer, store_recovery recovery)
-        : writer_(std::move(writer)), recovery_(std::move(recovery)) {}
+    lot_store(std::unique_ptr<record_writer> writer, store_recovery recovery,
+              lot_store_options options)
+        : writer_(std::move(writer)), recovery_(std::move(recovery)),
+          options_(options) {}
 
     std::unique_ptr<record_writer> writer_;
     store_recovery recovery_;
+    lot_store_options options_;
     std::uint64_t appended_ = 0;
+    std::size_t unflushed_ = 0;
 };
 
 } // namespace bistna::store

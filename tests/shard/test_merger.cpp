@@ -1,0 +1,207 @@
+// Shard-store merger: every messy input shape a retried worker fleet can
+// produce -- empty shards, single-die shards, duplicate deliveries,
+// out-of-order arrival, torn tails from killed attempts -- must fold back
+// into a store byte-identical to the single-process one; holes and
+// divergent duplicates must throw.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/screening.hpp"
+#include "shard/merger.hpp"
+#include "store/lot_store.hpp"
+#include "store/records.hpp"
+
+namespace {
+
+using namespace bistna;
+
+class temp_dir {
+public:
+    explicit temp_dir(const char* name) : path_(std::string("/tmp/") + name) {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~temp_dir() { std::filesystem::remove_all(path_); }
+    std::string file(const char* name) const { return path_ + "/" + name; }
+
+private:
+    std::string path_;
+};
+
+core::screening_report report_for_die(std::uint64_t die) {
+    core::screening_report report;
+    report.passed = (die % 2) == 0;
+    report.self_test_passed = true;
+    report.stimulus_volts = 0.3 + 0.001 * static_cast<double>(die);
+    core::limit_result result;
+    result.limit.name = "lp";
+    result.measured_db = -1.0 - static_cast<double>(die);
+    report.limits.push_back(result);
+    return report;
+}
+
+/// Write a shard store holding exactly `ids`, in the given order.
+void write_shard(const std::string& path, const std::vector<std::uint64_t>& ids) {
+    auto lot = store::lot_store::create(path);
+    for (std::uint64_t id : ids) {
+        lot.append(store::to_record(report_for_die(id), id));
+    }
+}
+
+std::string read_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/// The oracle: the store a single worker covering [first, first + count)
+/// would write -- all ids in order, one file.
+std::string oracle_bytes(const temp_dir& dir, std::uint64_t first,
+                         std::uint64_t count) {
+    const std::string path = dir.file("oracle.store");
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t id = first; id < first + count; ++id) {
+        ids.push_back(id);
+    }
+    write_shard(path, ids);
+    return read_bytes(path);
+}
+
+TEST(ShardMerge, OutOfOrderShardsMergeToSingleProcessBytes) {
+    temp_dir dir("bistna_merge_ooo");
+    write_shard(dir.file("s0.store"), {10, 11, 12});
+    write_shard(dir.file("s1.store"), {13, 14});
+    write_shard(dir.file("s2.store"), {15, 16, 17});
+
+    // Deliver the shards backwards: arrival order must not matter.
+    const auto stats = shard::merge_shard_stores(
+        {dir.file("s2.store"), dir.file("s0.store"), dir.file("s1.store")},
+        dir.file("merged.store"), 10, 8);
+    EXPECT_EQ(stats.files, 3u);
+    EXPECT_EQ(stats.records_seen, 8u);
+    EXPECT_EQ(stats.records_merged, 8u);
+    EXPECT_EQ(stats.duplicates_dropped, 0u);
+    EXPECT_EQ(stats.torn_files, 0u);
+    EXPECT_EQ(read_bytes(dir.file("merged.store")), oracle_bytes(dir, 10, 8));
+}
+
+TEST(ShardMerge, EmptyAndSingleDieShardsAreValid) {
+    temp_dir dir("bistna_merge_tiny");
+    write_shard(dir.file("s0.store"), {0});
+    write_shard(dir.file("s1.store"), {});  // shards > units: header only
+    write_shard(dir.file("s2.store"), {1});
+    write_shard(dir.file("s3.store"), {});
+
+    const auto stats = shard::merge_shard_stores(
+        {dir.file("s0.store"), dir.file("s1.store"), dir.file("s2.store"),
+         dir.file("s3.store")},
+        dir.file("merged.store"), 0, 2);
+    EXPECT_EQ(stats.records_merged, 2u);
+    EXPECT_EQ(read_bytes(dir.file("merged.store")), oracle_bytes(dir, 0, 2));
+}
+
+TEST(ShardMerge, DuplicateDeliveryIsDedupedByRecordId) {
+    temp_dir dir("bistna_merge_dup");
+    // A straggler finished its range late AND its retry also completed:
+    // the whole range arrives twice.
+    write_shard(dir.file("attempt1.store"), {5, 6, 7});
+    write_shard(dir.file("attempt2.store"), {5, 6, 7});
+    write_shard(dir.file("other.store"), {8, 9});
+
+    const auto stats = shard::merge_shard_stores(
+        {dir.file("attempt1.store"), dir.file("attempt2.store"),
+         dir.file("other.store")},
+        dir.file("merged.store"), 5, 5);
+    EXPECT_EQ(stats.records_seen, 8u);
+    EXPECT_EQ(stats.duplicates_dropped, 3u);
+    EXPECT_EQ(stats.records_merged, 5u);
+    EXPECT_EQ(read_bytes(dir.file("merged.store")), oracle_bytes(dir, 5, 5));
+}
+
+TEST(ShardMerge, TornAttemptPlusRetryMergesClean) {
+    temp_dir dir("bistna_merge_torn");
+    // Attempt 1 was SIGKILLed mid-frame: two whole records plus garbage.
+    write_shard(dir.file("attempt1.store"), {0, 1});
+    {
+        std::ofstream torn(dir.file("attempt1.store"),
+                           std::ios::binary | std::ios::app);
+        torn << "\x01\x00partial-frame-garbage";
+    }
+    // The retry ran the shard wholesale.
+    write_shard(dir.file("attempt2.store"), {0, 1, 2, 3});
+
+    const auto stats = shard::merge_shard_stores(
+        {dir.file("attempt1.store"), dir.file("attempt2.store")},
+        dir.file("merged.store"), 0, 4);
+    EXPECT_EQ(stats.torn_files, 1u);
+    EXPECT_EQ(stats.records_seen, 6u);
+    EXPECT_EQ(stats.duplicates_dropped, 2u);
+    EXPECT_EQ(stats.records_merged, 4u);
+    EXPECT_EQ(read_bytes(dir.file("merged.store")), oracle_bytes(dir, 0, 4));
+}
+
+TEST(ShardMerge, MissingAttemptFileIsSkipped) {
+    temp_dir dir("bistna_merge_missing_file");
+    // A worker killed before create(): its path never existed.
+    write_shard(dir.file("good.store"), {0, 1, 2});
+    const auto stats = shard::merge_shard_stores(
+        {dir.file("never-created.store"), dir.file("good.store")},
+        dir.file("merged.store"), 0, 3);
+    EXPECT_EQ(stats.files, 1u);
+    EXPECT_EQ(stats.records_merged, 3u);
+}
+
+TEST(ShardMerge, MissingRecordIdThrows) {
+    temp_dir dir("bistna_merge_hole");
+    write_shard(dir.file("s0.store"), {0, 1});
+    write_shard(dir.file("s1.store"), {3}); // id 2 never delivered
+    EXPECT_THROW((void)shard::merge_shard_stores(
+                     {dir.file("s0.store"), dir.file("s1.store")},
+                     dir.file("merged.store"), 0, 4),
+                 configuration_error);
+}
+
+TEST(ShardMerge, OutOfRangeRecordIdThrows) {
+    temp_dir dir("bistna_merge_range");
+    write_shard(dir.file("s0.store"), {0, 1, 99});
+    EXPECT_THROW((void)shard::merge_shard_stores({dir.file("s0.store")},
+                                                 dir.file("merged.store"), 0, 3),
+                 configuration_error);
+}
+
+TEST(ShardMerge, ConflictingDuplicateThrows) {
+    temp_dir dir("bistna_merge_conflict");
+    write_shard(dir.file("s0.store"), {0, 1});
+    {
+        // The "same" die with different measurements: a worker that broke
+        // the bit-identity contract.  The merge must refuse to pick one.
+        auto lot = store::lot_store::create(dir.file("s1.store"));
+        auto divergent = report_for_die(1);
+        divergent.stimulus_volts += 1e-9;
+        lot.append(store::to_record(divergent, 1));
+    }
+    EXPECT_THROW((void)shard::merge_shard_stores(
+                     {dir.file("s0.store"), dir.file("s1.store")},
+                     dir.file("merged.store"), 0, 2),
+                 configuration_error);
+}
+
+TEST(ShardMerge, NonStoreInputThrows) {
+    temp_dir dir("bistna_merge_foreign");
+    {
+        std::ofstream out(dir.file("notastore.bin"), std::ios::binary);
+        out << "die,passed\n0,1\n";
+    }
+    EXPECT_THROW((void)shard::merge_shard_stores({dir.file("notastore.bin")},
+                                                 dir.file("merged.store"), 0, 1),
+                 serialization_error);
+}
+
+} // namespace

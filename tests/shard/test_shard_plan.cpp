@@ -1,0 +1,86 @@
+// Shard plan: contiguous, balanced, exhaustive -- the properties the
+// merge's coverage check and the supervisor's retry bookkeeping lean on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "shard/plan.hpp"
+
+namespace {
+
+using namespace bistna;
+
+void expect_exhaustive(const std::vector<shard::shard_range>& plan,
+                       std::uint64_t units) {
+    std::uint64_t next = 0;
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+        EXPECT_EQ(plan[s].index, s);
+        EXPECT_EQ(plan[s].first, next) << "shard " << s << " is not contiguous";
+        next += plan[s].units;
+    }
+    EXPECT_EQ(next, units) << "plan does not cover the lot exactly";
+}
+
+TEST(ShardPlan, EvenSplit) {
+    const auto plan = shard::plan_shards(12, 4);
+    ASSERT_EQ(plan.size(), 4u);
+    for (const auto& range : plan) {
+        EXPECT_EQ(range.units, 3u);
+    }
+    expect_exhaustive(plan, 12);
+}
+
+TEST(ShardPlan, RemainderGoesToTheFirstShards) {
+    const auto plan = shard::plan_shards(10, 4);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].units, 3u);
+    EXPECT_EQ(plan[1].units, 3u);
+    EXPECT_EQ(plan[2].units, 2u);
+    EXPECT_EQ(plan[3].units, 2u);
+    expect_exhaustive(plan, 10);
+}
+
+TEST(ShardPlan, MoreShardsThanUnitsYieldsEmptyTrailingShards) {
+    const auto plan = shard::plan_shards(3, 7);
+    ASSERT_EQ(plan.size(), 7u);
+    for (std::size_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(plan[s].units, 1u);
+    }
+    for (std::size_t s = 3; s < 7; ++s) {
+        EXPECT_EQ(plan[s].units, 0u);
+    }
+    expect_exhaustive(plan, 3);
+}
+
+TEST(ShardPlan, SingleShardTakesEverything) {
+    const auto plan = shard::plan_shards(1000, 1);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].first, 0u);
+    EXPECT_EQ(plan[0].units, 1000u);
+}
+
+TEST(ShardPlan, ZeroUnitsIsAllEmptyShards) {
+    const auto plan = shard::plan_shards(0, 3);
+    ASSERT_EQ(plan.size(), 3u);
+    expect_exhaustive(plan, 0);
+}
+
+TEST(ShardPlan, ZeroShardsIsAPreconditionViolation) {
+    EXPECT_THROW((void)shard::plan_shards(10, 0), precondition_error);
+}
+
+TEST(ShardPlan, BalanceNeverDiffersByMoreThanOne) {
+    for (std::uint64_t units : {1u, 7u, 64u, 4097u}) {
+        for (std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+            const auto plan = shard::plan_shards(units, shards);
+            std::uint64_t lo = units, hi = 0;
+            for (const auto& range : plan) {
+                lo = std::min(lo, range.units);
+                hi = std::max(hi, range.units);
+            }
+            EXPECT_LE(hi - lo, 1u) << units << " units over " << shards;
+            expect_exhaustive(plan, units);
+        }
+    }
+}
+
+} // namespace
