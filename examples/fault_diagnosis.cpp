@@ -6,7 +6,7 @@
 // diagnosed lot -- runs on one shared worker pool.
 //
 //   ./fault_diagnosis [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
-//                     [--store=PATH]
+//                     [--store=PATH] [--trace=PATH] [--metrics]
 //
 // When --threads/--lanes are omitted the sweep engine's autotune probe
 // picks them for this machine; pass either flag to override.
@@ -15,6 +15,10 @@
 // next to the CSV, loaded back both copying and mmapped); --store
 // additionally appends every injected-lot report to a persistent binary
 // record store as the dice stream off their jobs.
+//
+// --trace writes a Chrome trace of the dictionary build and every lot's
+// engine-stage spans; --metrics prints the accumulated counters and
+// latency histograms.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -34,6 +38,8 @@
 #include "store/dictionary_io.hpp"
 #include "store/lot_store.hpp"
 #include "store/records.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
@@ -66,6 +72,15 @@ int main(int argc, char** argv) {
     auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
     auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
     const std::string store_path = flag_text(argc, argv, "store");
+
+    const std::string trace_path = flag_text(argc, argv, "trace");
+    const bool want_metrics = flag_switch(argc, argv, "metrics");
+    telemetry::metric_registry registry;
+    if (!trace_path.empty() || want_metrics) {
+        registry.set_process_name("fault_diagnosis");
+        registry.attach();
+        telemetry::set_thread_name("main");
+    }
 
     const diag::die_design design; // realistic 0.35 um generator, nominal DUT
     core::analyzer_settings settings;
@@ -270,6 +285,19 @@ int main(int argc, char** argv) {
                   << result_store->records() << " records ("
                   << result_store->bytes() << " bytes, "
                   << result_store->records_appended() << " appended this run)\n";
+    }
+
+    if (registry.is_attached()) {
+        registry.detach();
+        const auto snapshot = registry.snapshot();
+        if (!trace_path.empty()) {
+            telemetry::write_chrome_trace_file(trace_path, {&snapshot, 1});
+            std::cout << "trace: " << trace_path << "\n";
+        }
+        if (want_metrics) {
+            std::cout << "\n--- telemetry ---\n";
+            telemetry::print_metrics(std::cout, snapshot);
+        }
     }
     return accuracy >= 0.9 ? 0 : 1;
 }

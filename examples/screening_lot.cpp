@@ -8,7 +8,7 @@
 // comparison, and the two are verified to agree die for die.
 //
 //   ./screening_lot [--dice=N] [--sigma=S] [--threads=N] [--lanes=N]
-//                   [--store=PATH]
+//                   [--store=PATH] [--trace=PATH] [--metrics]
 //
 // When --threads/--lanes are omitted the engine's autotune probe picks
 // them (a short calibration screen at each candidate configuration); pass
@@ -18,6 +18,10 @@
 // reports stream off the job (store/lot_store.hpp) -- reopening an
 // existing store resumes it, recovering from a torn tail if a previous
 // run was killed mid-write.
+//
+// --trace writes a Chrome trace (chrome://tracing / ui.perfetto.dev) of
+// the run's engine-stage spans; --metrics prints the counters and latency
+// histograms the run accumulated.
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -33,6 +37,8 @@
 #include "dut/filters.hpp"
 #include "store/lot_store.hpp"
 #include "store/records.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
@@ -119,6 +125,17 @@ int main(int argc, char** argv) {
     auto threads = static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
     auto lanes = static_cast<std::size_t>(flag_value(argc, argv, "lanes", 8.0));
     const std::string store_path = flag_text(argc, argv, "store");
+
+    // Telemetry is opt-in: detached, every counter/span call is a no-op
+    // branch, so the flags cost nothing when absent.
+    const std::string trace_path = flag_text(argc, argv, "trace");
+    const bool want_metrics = flag_switch(argc, argv, "metrics");
+    telemetry::metric_registry registry;
+    if (!trace_path.empty() || want_metrics) {
+        registry.set_process_name("screening_lot");
+        registry.attach();
+        telemetry::set_thread_name("main");
+    }
 
     // Production-flow settings: calibrated offset handling, default
     // 200-period acquisitions -- every die pays the grounded calibration
@@ -209,6 +226,19 @@ int main(int argc, char** argv) {
                   << result_store->records() << " records ("
                   << result_store->bytes() << " bytes, "
                   << result_store->records_appended() << " appended this run)\n";
+    }
+
+    if (registry.is_attached()) {
+        registry.detach();
+        const auto snapshot = registry.snapshot();
+        if (!trace_path.empty()) {
+            telemetry::write_chrome_trace_file(trace_path, {&snapshot, 1});
+            std::cout << "trace: " << trace_path << "\n";
+        }
+        if (want_metrics) {
+            std::cout << "\n--- telemetry ---\n";
+            telemetry::print_metrics(std::cout, snapshot);
+        }
     }
     return identical ? 0 : 1;
 }

@@ -7,18 +7,27 @@
 //   ./shard_coordinator --manifest=lot.json --out=lot.store
 //                       [--shards=N] [--workers=N] [--shard-dir=DIR]
 //                       [--worker=PATH] [--timeout-s=T] [--retries=N]
-//                       [--flush-interval=N]
+//                       [--flush-interval=N] [--trace=PATH] [--metrics]
 //
 // --workers caps the processes running at once (default: one per shard);
 // --worker points at the worker binary (default: shard_worker next to
 // this executable); --timeout-s enables straggler kill + retry;
 // --retries is the total attempts allowed per shard (default 3).
+// --trace writes one merged Chrome trace (chrome://tracing /
+// ui.perfetto.dev) with the coordinator and every worker as its own
+// process lane; --metrics prints the fleet-wide merged counters and
+// histograms.  Either flag turns on worker telemetry sidecars.
 #include <cstdio>
 #include <filesystem>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "shard/coordinator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/trace_export.hpp"
 
 int main(int argc, char** argv) {
     using namespace bistna;
@@ -29,12 +38,24 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: shard_coordinator --manifest=lot.json --out=lot.store\n"
                      "  [--shards=N] [--workers=N] [--shard-dir=DIR] [--worker=PATH]\n"
-                     "  [--timeout-s=T] [--retries=N] [--flush-interval=N]\n");
+                     "  [--timeout-s=T] [--retries=N] [--flush-interval=N]\n"
+                     "  [--trace=trace.json] [--metrics]\n");
         return 2;
     }
 
     try {
         const shard::lot_manifest manifest = shard::lot_manifest::load(manifest_path);
+
+        const std::string trace_path = flag_text(argc, argv, "trace");
+        const bool want_metrics = flag_switch(argc, argv, "metrics");
+        const bool metered = !trace_path.empty() || want_metrics;
+
+        telemetry::metric_registry registry;
+        if (metered) {
+            registry.set_process_name("coordinator");
+            registry.attach();
+            telemetry::set_thread_name("coordinator-main");
+        }
 
         shard::supervisor_options options;
         options.shards =
@@ -59,6 +80,7 @@ int main(int argc, char** argv) {
                          .string();
         }
         options.worker_command = {worker};
+        options.telemetry_sidecars = metered;
         options.on_event = [](const std::string& line) {
             std::printf("  %s\n", line.c_str());
         };
@@ -80,6 +102,27 @@ int main(int argc, char** argv) {
                     report.merge.torn_files, report.shards.attempts.size(),
                     report.shards.retries, out_path.c_str(),
                     static_cast<unsigned long long>(report.merge.bytes_written));
+
+        if (metered) {
+            registry.detach();
+            // Coordinator lane first, then one lane per worker snapshot.
+            std::vector<telemetry::telemetry_snapshot> lanes;
+            lanes.push_back(registry.snapshot());
+            for (auto& snapshot : report.worker_snapshots) {
+                lanes.push_back(snapshot);
+            }
+            if (!trace_path.empty()) {
+                telemetry::write_chrome_trace_file(trace_path, lanes);
+                std::printf("trace: %s (%zu process lanes)\n",
+                            trace_path.c_str(), lanes.size());
+            }
+            if (want_metrics) {
+                std::printf("--- fleet metrics (%zu workers) ---\n",
+                            report.worker_snapshots.size());
+                telemetry::print_metrics(std::cout,
+                                         telemetry::merge_metrics(lanes));
+            }
+        }
         return 0;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "shard coordinator: %s\n", error.what());

@@ -44,4 +44,15 @@ inline bool flag_present(int argc, char** argv, const char* name) {
     return false;
 }
 
+/// True for a bare boolean switch: "--name" exactly, or "--name=value".
+inline bool flag_switch(int argc, char** argv, const char* name) {
+    const std::string bare = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (bare == argv[i]) {
+            return true;
+        }
+    }
+    return flag_present(argc, argv, name);
+}
+
 } // namespace bistna

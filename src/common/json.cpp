@@ -1,0 +1,224 @@
+#include "common/json.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace bistna {
+
+namespace {
+
+class json_parser {
+public:
+    json_parser(std::string_view text, const std::string& context)
+        : text_(text), context_(context) {}
+
+    json_value parse() {
+        json_value value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON value");
+        }
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw configuration_error(context_ + ": " + what + " at byte " +
+                                  std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return false;
+        }
+        pos_ += literal.size();
+        return true;
+    }
+
+    json_value parse_value() {
+        skip_ws();
+        switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': {
+            json_value v;
+            v.type = json_value::kind::string;
+            v.str = parse_string();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            json_value v;
+            v.type = json_value::kind::boolean;
+            if (consume_literal("true")) {
+                v.b = true;
+            } else if (consume_literal("false")) {
+                v.b = false;
+            } else {
+                fail("malformed literal");
+            }
+            return v;
+        }
+        case 'n':
+            if (!consume_literal("null")) {
+                fail("malformed literal");
+            }
+            return {};
+        default: return parse_number();
+        }
+    }
+
+    json_value parse_object() {
+        expect('{');
+        json_value v;
+        v.type = json_value::kind::object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            if (v.find(key) != nullptr) {
+                fail("duplicate key \"" + key + "\"");
+            }
+            skip_ws();
+            expect(':');
+            v.members.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    json_value parse_array() {
+        expect('[');
+        json_value v;
+        v.type = json_value::kind::array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.elements.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            default: fail("unsupported string escape");
+            }
+        }
+    }
+
+    json_value parse_number() {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        try {
+            std::size_t consumed = 0;
+            json_value v;
+            v.type = json_value::kind::number;
+            v.num = std::stod(token, &consumed);
+            if (consumed != token.size() || token.empty()) {
+                throw std::invalid_argument(token);
+            }
+            return v;
+        } catch (const std::exception&) {
+            pos_ = start;
+            fail("malformed number");
+        }
+    }
+
+    std::string_view text_;
+    const std::string& context_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+json_value parse_json(std::string_view text, const std::string& context) {
+    return json_parser(text, context).parse();
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace bistna

@@ -1,0 +1,47 @@
+// Minimal strict JSON: objects, arrays, strings (basic escapes), numbers,
+// booleans, null.  Anything else -- trailing garbage, unknown escapes,
+// duplicate object keys, unterminated anything -- throws
+// configuration_error naming the byte offset.
+//
+// Extracted from the shard manifest parser once a second consumer appeared
+// (the telemetry trace-export round-trip tests): the container ships no
+// JSON library, and two hand-rolled parsers drifting apart would be worse
+// than one deliberately small one.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bistna {
+
+struct json_value {
+    enum class kind { null, boolean, number, string, object, array };
+    kind type = kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, json_value>> members; ///< insertion order
+    std::vector<json_value> elements;
+
+    const json_value* find(const std::string& key) const {
+        for (const auto& [name, value] : members) {
+            if (name == key) {
+                return &value;
+            }
+        }
+        return nullptr;
+    }
+};
+
+/// Parse one complete JSON document.  `context` prefixes every error
+/// message ("manifest JSON", "trace JSON", ...), so a failure names both
+/// the document kind and the byte offset of the first offending byte.
+json_value parse_json(std::string_view text, const std::string& context = "JSON");
+
+/// Escape a string for embedding between JSON double quotes (the inverse
+/// of the parser's basic-escape handling).
+std::string json_escape(const std::string& s);
+
+} // namespace bistna

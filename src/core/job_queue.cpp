@@ -1,6 +1,47 @@
 #include "core/job_queue.hpp"
 
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
 namespace bistna::core {
+
+namespace {
+
+// Interned once; recording through them is a no-op unless a registry is
+// attached (see telemetry/metrics.hpp).
+telemetry::metric_id depth_histogram() {
+    static const telemetry::metric_id id =
+        telemetry::histogram_id("job_queue.depth");
+    return id;
+}
+
+telemetry::metric_id wait_histogram() {
+    static const telemetry::metric_id id =
+        telemetry::histogram_id("job_queue.task.wait_ns");
+    return id;
+}
+
+telemetry::metric_id run_histogram() {
+    static const telemetry::metric_id id =
+        telemetry::histogram_id("job_queue.task.run_ns");
+    return id;
+}
+
+telemetry::metric_id items_counter() {
+    static const telemetry::metric_id id =
+        telemetry::counter_id("job_queue.items_computed");
+    return id;
+}
+
+} // namespace
+
+void job_progress::items_done(std::size_t n) const noexcept {
+    if (computed_ != nullptr) {
+        computed_->fetch_add(n, std::memory_order_relaxed);
+    }
+    telemetry::counter_add(items_counter(), n);
+}
 
 const char* job_state_name(job_state state) noexcept {
     switch (state) {
@@ -60,22 +101,28 @@ std::size_t job_queue::jobs_pending() const {
 
 void job_queue::enqueue(std::shared_ptr<detail::job_record> record) {
     {
+        if (telemetry::attached()) {
+            record->enqueued_ns = telemetry::now_ns();
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         BISTNA_EXPECTS(!stopping_, "submit on a destroyed job_queue");
         ++submitted_;
         jobs_.push_back(std::move(record));
+        telemetry::histogram_record(depth_histogram(), jobs_.size());
         // Lazy spawn: a queue that never receives work never starts a
         // thread (many tests construct engines they use once or not at
         // all).  The pool is sized once and never shrinks until
         // destruction.
         while (workers_.size() < threads_) {
-            workers_.emplace_back([this] { worker_loop(); });
+            const std::size_t index = workers_.size();
+            workers_.emplace_back([this, index] { worker_loop(index); });
         }
     }
     work_cv_.notify_all();
 }
 
-void job_queue::worker_loop() {
+void job_queue::worker_loop(std::size_t worker_index) {
+    telemetry::set_thread_name("jq-worker-" + std::to_string(worker_index));
     for (;;) {
         std::shared_ptr<detail::job_record> job;
         std::size_t task = 0;
@@ -94,7 +141,22 @@ void job_queue::worker_loop() {
                 jobs_.pop_front();
             }
         }
+        // Clock reads only when a registry is listening: the detached hot
+        // path stays one atomic load per task.
+        const bool instrument = telemetry::attached();
+        std::uint64_t claimed_ns = 0;
+        if (instrument) {
+            claimed_ns = telemetry::now_ns();
+            if (job->enqueued_ns != 0 && claimed_ns >= job->enqueued_ns) {
+                telemetry::histogram_record(wait_histogram(),
+                                            claimed_ns - job->enqueued_ns);
+            }
+        }
         job->run_task(task);
+        if (instrument) {
+            telemetry::histogram_record(run_histogram(),
+                                        telemetry::now_ns() - claimed_ns);
+        }
     }
 }
 

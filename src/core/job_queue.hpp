@@ -25,9 +25,11 @@
 // order -- streaming changes when a caller sees an item, never its value.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -35,12 +37,33 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace bistna::core {
+
+/// Mid-group progress reporter.  A group function that accepts a trailing
+/// `const job_progress&` parameter can tick items as it computes them, so
+/// `job_handle::completed_items()` moves *within* a group instead of
+/// jumping by group_size when the group publishes -- a monitor polling a
+/// 10k-die lot screened in one group no longer reads 0 until the very end.
+/// Ticks are advisory (they never gate publication); group functions that
+/// ignore the parameter keep the old group-granularity progress.
+class job_progress {
+public:
+    job_progress() = default;
+    explicit job_progress(std::atomic<std::uint64_t>* computed)
+        : computed_(computed) {}
+
+    /// Record `n` more items' worth of finished computation.
+    void items_done(std::size_t n = 1) const noexcept;
+
+private:
+    std::atomic<std::uint64_t>* computed_ = nullptr;
+};
 
 /// Lifecycle of a job.  `running` covers the whole span from submission to
 /// the last item being accounted for; the other three are terminal.
@@ -79,6 +102,14 @@ struct job_channel {
     /// Checked by tasks before running (claimed-but-unstarted work is
     /// skipped); in-flight groups finish normally and still stream.
     std::atomic<bool> cancel_requested{false};
+
+    /// Items ticked via job_progress, ahead of group publication.  Only
+    /// ever incremented, so completed_items() -- the max of this and
+    /// completed_count -- is monotonic whether or not the group function
+    /// ticks.  On a failed/cancelled job the ticks of an unpublished group
+    /// may overcount relative to completed(); exact per-item truth stays
+    /// with the slots.
+    std::atomic<std::uint64_t> computed{0};
 
     /// Optional per-item completion callback (runs on the completing
     /// worker thread, without locks, *before* the item becomes visible to
@@ -160,6 +191,7 @@ struct job_record {
     std::size_t next_task = 0;                  ///< guarded by the queue mutex
     std::function<void(std::size_t)> run_task;  ///< must not throw
     std::function<void()> request_cancel;       ///< flips the channel's flag
+    std::uint64_t enqueued_ns = 0;              ///< telemetry wait-time anchor
 };
 
 } // namespace detail
@@ -192,11 +224,15 @@ public:
         return channel().results.size();
     }
 
-    /// Items that have completed with a value so far.
+    /// Items finished so far: the max of published slots and mid-group
+    /// job_progress ticks, so the value is monotonic and -- when the group
+    /// function ticks -- moves while a group is still computing.
     std::size_t completed_items() const {
         auto& ch = channel();
+        const std::uint64_t ticked =
+            ch.computed.load(std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(ch.mutex);
-        return ch.completed_count;
+        return std::max(static_cast<std::size_t>(ticked), ch.completed_count);
     }
 
     job_state state() const {
@@ -428,7 +464,14 @@ public:
             }
             try {
                 std::vector<R> out(count);
-                group_fn(first, count, out.data());
+                if constexpr (std::is_invocable_v<GroupFn&, std::size_t,
+                                                  std::size_t, R*,
+                                                  const job_progress&>) {
+                    group_fn(first, count, out.data(),
+                             job_progress(&channel->computed));
+                } else {
+                    group_fn(first, count, out.data());
+                }
                 channel->complete_items(first, std::move(out));
             } catch (...) {
                 channel->fail_items(count, std::current_exception());
@@ -441,7 +484,7 @@ public:
 
 private:
     void enqueue(std::shared_ptr<detail::job_record> record);
-    void worker_loop();
+    void worker_loop(std::size_t worker_index);
 
     const std::size_t threads_;
     mutable std::mutex mutex_;

@@ -29,7 +29,7 @@ void stimulus_cache::evict_for_insert_locked() {
         // evicted future keep their own reference; only the cache forgets.
         entries_.erase(insertion_order_.front());
         insertion_order_.pop_front();
-        ++stats_.evictions;
+        evictions_.add();
     }
 }
 
@@ -45,10 +45,10 @@ stimulus_cache::record_ptr stimulus_cache::get_or_render(const stimulus_key& key
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
-            ++stats_.hits;
+            hits_.add();
             pending = it->second.future;
         } else {
-            ++stats_.misses;
+            misses_.add();
             evict_for_insert_locked();
             own_id = next_entry_id_++;
             entries_.emplace(key, entry{promise.get_future().share(), own_id});
@@ -87,8 +87,11 @@ stimulus_cache::record_ptr stimulus_cache::get_or_render(const stimulus_key& key
 }
 
 stimulus_cache_stats stimulus_cache::stats() const {
+    stimulus_cache_stats snapshot;
+    snapshot.hits = hits_.value();
+    snapshot.misses = misses_.value();
+    snapshot.evictions = evictions_.value();
     std::lock_guard<std::mutex> lock(mutex_);
-    stimulus_cache_stats snapshot = stats_;
     snapshot.entries = entries_.size();
     return snapshot;
 }

@@ -14,6 +14,7 @@
 #include "dut/state_space.hpp"
 #include "eval/acquire_plan.hpp"
 #include "eval/batch_evaluator.hpp"
+#include "telemetry/span.hpp"
 
 namespace bistna::core {
 
@@ -194,13 +195,17 @@ void sweep_engine::bode_group(const std::vector<hertz>& frequencies,
     std::vector<eval::evaluator_config> configs(count, settings_.evaluator);
     std::vector<std::vector<double>> records(count);
     std::vector<std::span<const double>> spans(count);
-    for (std::size_t l = 0; l < count; ++l) {
-        boards.push_back(make_board(board_seed));
-        configs[l].seed = sweep_item_seed(options_.base_seed, first + l + 1);
-        const auto tb = sim::timebase::for_wave_frequency(frequencies[first + l]);
-        records[l] = boards[l].render(tb, settings_.periods, signal_path::through_dut,
-                                      settings_.settle_periods);
-        spans[l] = records[l];
+    {
+        telemetry::trace_span render_span("engine.render");
+        render_span.arg("lanes", static_cast<double>(count));
+        for (std::size_t l = 0; l < count; ++l) {
+            boards.push_back(make_board(board_seed));
+            configs[l].seed = sweep_item_seed(options_.base_seed, first + l + 1);
+            const auto tb = sim::timebase::for_wave_frequency(frequencies[first + l]);
+            records[l] = boards[l].render(tb, settings_.periods, signal_path::through_dut,
+                                          settings_.settle_periods);
+            spans[l] = records[l];
+        }
     }
     eval::batch_evaluator evaluators(std::move(configs));
     if (options_.pipeline == sweep_pipeline::lane_major) {
@@ -209,6 +214,8 @@ void sweep_engine::bode_group(const std::vector<hertz>& frequencies,
         evaluators.set_shared_resources(demod_tables_.get(), &scratch,
                                         calibration_share_.get());
     }
+    telemetry::trace_span evaluate_span("engine.evaluate");
+    evaluate_span.arg("lanes", static_cast<double>(count));
     const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
     for (std::size_t l = 0; l < count; ++l) {
         out[l] = assemble_frequency_point(frequencies[first + l], calibration, outputs[l],
@@ -243,15 +250,18 @@ sweep_engine::submit_bode(std::vector<hertz> frequencies, std::uint64_t board_se
         bode_job{std::move(frequencies), board_seed, std::move(shared_calibration)});
     return queue_->submit<frequency_point>(
         job->frequencies.size(), lockstep ? lanes : 1,
-        [this, job, lockstep](std::size_t first, std::size_t count, frequency_point* out) {
+        [this, job, lockstep](std::size_t first, std::size_t count, frequency_point* out,
+                              const job_progress& progress) {
             if (lockstep) {
                 bode_group(job->frequencies, job->board_seed, *job->calibration, first,
                            count, out);
+                progress.items_done(count);
                 return;
             }
             for (std::size_t l = 0; l < count; ++l) {
                 out[l] = bode_point(job->frequencies[first + l], job->board_seed,
                                     job->calibration, first + l);
+                progress.items_done();
             }
         },
         std::move(on_point));
@@ -314,14 +324,17 @@ sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
         // through one SoA modulator bank (threads x lanes dice in flight).
         return queue_->submit<screening_report>(
             dice, lanes,
-            [this, job](std::size_t first, std::size_t count, screening_report* out) {
-                screen_group(job->mask, job->screening, job->first_seed + first, count, out);
+            [this, job](std::size_t first, std::size_t count, screening_report* out,
+                        const job_progress& progress) {
+                screen_group(job->mask, job->screening, job->first_seed + first, count, out,
+                             progress);
             },
             std::move(on_report));
     }
     return queue_->submit<screening_report>(
         dice, 1,
-        [this, job](std::size_t first, std::size_t count, screening_report* out) {
+        [this, job](std::size_t first, std::size_t count, screening_report* out,
+                    const job_progress& progress) {
             for (std::size_t l = 0; l < count; ++l) {
                 // Same per-die construction as the sequential
                 // core::screen_lot: the die's identity comes solely from its
@@ -332,6 +345,7 @@ sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
                 demonstrator_board board = make_board(job->first_seed + first + l);
                 network_analyzer analyzer(board, settings_);
                 out[l] = screen(analyzer, job->mask, job->screening);
+                progress.items_done();
             }
         },
         std::move(on_report));
@@ -346,10 +360,11 @@ std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
 
 void sweep_engine::screen_group(const spec_mask& mask, const screening_options& screening,
                                 std::uint64_t first_seed, std::size_t count,
-                                screening_report* reports) {
+                                screening_report* reports,
+                                const job_progress& progress) {
     BISTNA_EXPECTS(count > 0, "lane group must contain at least one die");
     if (options_.pipeline == sweep_pipeline::lane_major) {
-        screen_group_lane_major(mask, screening, first_seed, count, reports);
+        screen_group_lane_major(mask, screening, first_seed, count, reports, progress);
         return;
     }
 
@@ -369,6 +384,8 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
     std::vector<std::size_t> active;
     active.reserve(count);
     {
+        telemetry::trace_span calibrate_span("engine.calibrate");
+        calibrate_span.arg("lanes", static_cast<double>(count));
         std::vector<std::vector<double>> records(count);
         std::vector<std::span<const double>> spans(count);
         for (std::size_t l = 0; l < count; ++l) {
@@ -396,6 +413,9 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
             }
         }
     }
+    // Gated-out lanes are finished dice; the active ones tick when their
+    // last stage completes.
+    progress.items_done(count - active.size());
     if (active.empty()) {
         return;
     }
@@ -408,12 +428,18 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
         const auto tb = sim::timebase::for_wave_frequency(hertz{limit.f_hz});
         std::vector<std::vector<double>> records(active.size());
         std::vector<std::span<const double>> spans(active.size());
-        for (std::size_t i = 0; i < active.size(); ++i) {
-            records[i] = boards[active[i]].render(tb, settings_.periods,
-                                                  signal_path::through_dut,
-                                                  settings_.settle_periods);
-            spans[i] = records[i];
+        {
+            telemetry::trace_span render_span("engine.render");
+            render_span.arg("lanes", static_cast<double>(active.size()));
+            for (std::size_t i = 0; i < active.size(); ++i) {
+                records[i] = boards[active[i]].render(tb, settings_.periods,
+                                                      signal_path::through_dut,
+                                                      settings_.settle_periods);
+                spans[i] = records[i];
+            }
         }
+        telemetry::trace_span evaluate_span("engine.evaluate");
+        evaluate_span.arg("lanes", static_cast<double>(active.size()));
         const auto outputs =
             evaluators.measure_harmonic_lanes(active, spans, 1, settings_.periods);
         for (std::size_t i = 0; i < active.size(); ++i) {
@@ -431,6 +457,8 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
     // measure_distortion: distortion_periods renders, harmonics 1..max in
     // one lockstep pass per harmonic).
     if (screening.measure_distortion) {
+        telemetry::trace_span thd_span("engine.thd");
+        thd_span.arg("lanes", static_cast<double>(active.size()));
         const double f_hz = screening.distortion_f_hz > 0.0 ? screening.distortion_f_hz
                                                             : mask.limits.front().f_hz;
         const auto tb = sim::timebase::for_wave_frequency(hertz{f_hz});
@@ -450,6 +478,7 @@ void sweep_engine::screen_group(const spec_mask& mask, const screening_options& 
             reports[active[i]].thd_f_hz = f_hz;
         }
     }
+    progress.items_done(active.size());
 }
 
 double* sweep_engine::render_dut_lane_major(std::vector<demonstrator_board>& boards,
@@ -519,7 +548,8 @@ double* sweep_engine::render_dut_lane_major(std::vector<demonstrator_board>& boa
 void sweep_engine::screen_group_lane_major(const spec_mask& mask,
                                            const screening_options& screening,
                                            std::uint64_t first_seed, std::size_t count,
-                                           screening_report* reports) {
+                                           screening_report* reports,
+                                           const job_progress& progress) {
     arena& scratch = worker_arena();
     scratch.reset();
 
@@ -542,6 +572,8 @@ void sweep_engine::screen_group_lane_major(const spec_mask& mask,
     std::vector<std::size_t> active;
     active.reserve(count);
     {
+        telemetry::trace_span calibrate_span("engine.calibrate");
+        calibrate_span.arg("lanes", static_cast<double>(count));
         const std::size_t keep_from = cal_tb.samples_for_periods(settings_.settle_periods);
         std::vector<stimulus_cache::record_ptr> stairs(count);
         bool same_staircase = true;
@@ -579,6 +611,7 @@ void sweep_engine::screen_group_lane_major(const spec_mask& mask,
             }
         }
     }
+    progress.items_done(count - active.size());
     if (active.empty()) {
         return;
     }
@@ -589,8 +622,13 @@ void sweep_engine::screen_group_lane_major(const spec_mask& mask,
     for (std::size_t limit_index = 0; limit_index < mask.limits.size(); ++limit_index) {
         const auto& limit = mask.limits[limit_index];
         const auto tb = sim::timebase::for_wave_frequency(hertz{limit.f_hz});
-        const double* lane_major =
-            render_dut_lane_major(boards, active, tb, settings_.periods, scratch);
+        const double* lane_major = [&] {
+            telemetry::trace_span render_span("engine.render");
+            render_span.arg("lanes", static_cast<double>(active.size()));
+            return render_dut_lane_major(boards, active, tb, settings_.periods, scratch);
+        }();
+        telemetry::trace_span evaluate_span("engine.evaluate");
+        evaluate_span.arg("lanes", static_cast<double>(active.size()));
         const auto outputs = evaluators.measure_harmonic_lanes_lane_major(
             active, lane_major, 1, settings_.periods);
         for (std::size_t i = 0; i < active.size(); ++i) {
@@ -607,6 +645,8 @@ void sweep_engine::screen_group_lane_major(const spec_mask& mask,
     // Stage 3 -- optional distortion, same banked render / lane-major
     // acquisition shape at the distortion record length.
     if (screening.measure_distortion) {
+        telemetry::trace_span thd_span("engine.thd");
+        thd_span.arg("lanes", static_cast<double>(active.size()));
         const double f_hz = screening.distortion_f_hz > 0.0 ? screening.distortion_f_hz
                                                             : mask.limits.front().f_hz;
         const auto tb = sim::timebase::for_wave_frequency(hertz{f_hz});
@@ -621,6 +661,7 @@ void sweep_engine::screen_group_lane_major(const spec_mask& mask,
             reports[active[i]].thd_f_hz = f_hz;
         }
     }
+    progress.items_done(active.size());
 }
 
 lot_result sweep_engine::screen_lot(const spec_mask& mask, std::size_t dice,
@@ -692,18 +733,22 @@ sweep_engine::submit_acquisition(std::vector<acquisition_item> items,
     if (lanes > 1) {
         return queue_->submit<acquisition_result>(
             count, lanes,
-            [this, job](std::size_t first, std::size_t n, acquisition_result* out) {
+            [this, job](std::size_t first, std::size_t n, acquisition_result* out,
+                        const job_progress& progress) {
                 acquire_group(job->items, job->program, first, n, out,
                               job->shared_records);
+                progress.items_done(n);
             },
             std::move(on_result));
     }
     return queue_->submit<acquisition_result>(
         count, 1,
-        [this, job](std::size_t first, std::size_t n, acquisition_result* out) {
+        [this, job](std::size_t first, std::size_t n, acquisition_result* out,
+                    const job_progress& progress) {
             for (std::size_t l = 0; l < n; ++l) {
                 out[l] = acquire_scalar(job->items[first + l], job->program,
                                         job->shared_records);
+                progress.items_done();
             }
         },
         std::move(on_result));
@@ -796,6 +841,8 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
     std::vector<std::span<const double>> spans(count);
     const auto render_all = [&](std::uint64_t stage_tag, const sim::timebase& tb,
                                 std::size_t periods, signal_path path) {
+        telemetry::trace_span render_span("engine.render");
+        render_span.arg("lanes", static_cast<double>(count));
         for (std::size_t l = 0; l < count; ++l) {
             records[l] = render_stage(boards[l], shared_records, items[first + l].render_key,
                                       stage_tag, tb, periods, path, settings_.settle_periods);
@@ -806,11 +853,15 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
     // Stage 1 -- calibration-path characterization (the scalar calibrate()).
     const auto cal_tb = sim::timebase::for_wave_frequency(kilohertz(1.0));
     render_all(calibration_stage_tag, cal_tb, settings_.periods, signal_path::calibration);
-    const auto measured = evaluators.measure_harmonic(spans, 1, settings_.periods);
-    for (std::size_t l = 0; l < count; ++l) {
-        results[l].calibration = make_stimulus_calibration(measured[l]);
-        results[l].offset_rate = evaluators.extractor(l).offset_rate_ch1();
-        results[l].points.reserve(program.frequencies.size());
+    {
+        telemetry::trace_span calibrate_span("engine.calibrate");
+        calibrate_span.arg("lanes", static_cast<double>(count));
+        const auto measured = evaluators.measure_harmonic(spans, 1, settings_.periods);
+        for (std::size_t l = 0; l < count; ++l) {
+            results[l].calibration = make_stimulus_calibration(measured[l]);
+            results[l].offset_rate = evaluators.extractor(l).offset_rate_ch1();
+            results[l].points.reserve(program.frequencies.size());
+        }
     }
 
     // Stage 2 -- fundamental gain/phase at every program frequency.
@@ -818,6 +869,8 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
         const hertz f = program.frequencies[i];
         const auto tb = sim::timebase::for_wave_frequency(f);
         render_all(1 + i, tb, settings_.periods, signal_path::through_dut);
+        telemetry::trace_span evaluate_span("engine.evaluate");
+        evaluate_span.arg("lanes", static_cast<double>(count));
         const auto outputs = evaluators.measure_harmonic(spans, 1, settings_.periods);
         for (std::size_t l = 0; l < count; ++l) {
             results[l].points.push_back(
@@ -833,6 +886,8 @@ void sweep_engine::acquire_group(const std::vector<acquisition_item>& items,
         const auto tb = sim::timebase::for_wave_frequency(f);
         render_all(1 + program.frequencies.size(), tb, settings_.distortion_periods,
                    signal_path::through_dut);
+        telemetry::trace_span thd_span("engine.thd");
+        thd_span.arg("lanes", static_cast<double>(count));
         const auto thd = evaluators.measure_thd(spans, program.distortion_max_harmonic,
                                                 settings_.distortion_periods);
         for (std::size_t l = 0; l < count; ++l) {

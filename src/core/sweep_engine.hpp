@@ -298,7 +298,8 @@ private:
     /// diagnostic path).
     void screen_group(const spec_mask& mask, const screening_options& screening,
                       std::uint64_t first_seed, std::size_t count,
-                      screening_report* reports);
+                      screening_report* reports,
+                      const job_progress& progress = {});
 
     /// The roofline form of screen_group (options.pipeline == lane_major):
     /// cached staircases feed a banked state-space pass whose lane-major
@@ -306,7 +307,8 @@ private:
     /// the worker's arena.  Bit-identical per die to screen_group.
     void screen_group_lane_major(const spec_mask& mask, const screening_options& screening,
                                  std::uint64_t first_seed, std::size_t count,
-                                 screening_report* reports);
+                                 screening_report* reports,
+                                 const job_progress& progress = {});
 
     /// Render the through-DUT stage of every active lane as one lane-major
     /// block (sample n of active lane i at out[n * active.size() + i]),

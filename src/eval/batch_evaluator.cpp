@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "eval/acquire_plan.hpp"
+#include "telemetry/span.hpp"
 
 namespace bistna::eval {
 
@@ -216,6 +217,9 @@ std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes(
 
     const auto lane_ptrs = lane_pointers(lane_ids);
     const acquisition_settings settings = settings_for(k, periods);
+    telemetry::trace_span span("eval.modulate");
+    span.arg("lanes", static_cast<double>(lane_ids.size()));
+    span.arg("k", static_cast<double>(k));
     std::vector<signature_result> sigs;
     if (scratch_ != nullptr) {
         const auto tables = tables_for(settings);
@@ -234,6 +238,9 @@ std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes_lane_m
     const auto lane_ptrs = lane_pointers(lane_ids);
     const acquisition_settings settings = settings_for(k, periods);
     const auto tables = tables_for(settings);
+    telemetry::trace_span span("eval.modulate");
+    span.arg("lanes", static_cast<double>(lane_ids.size()));
+    span.arg("k", static_cast<double>(k));
     const auto sigs = signature_extractor::acquire_batch_lane_major(lane_ptrs, lane_major,
                                                                     settings, *tables);
     return assemble_harmonics(lane_ids, sigs);
@@ -246,6 +253,9 @@ std::vector<harmonic_measurement> batch_evaluator::measure_harmonic_lanes_shared
     const auto lane_ptrs = lane_pointers(lane_ids);
     const acquisition_settings settings = settings_for(k, periods);
     const auto tables = tables_for(settings);
+    telemetry::trace_span span("eval.modulate");
+    span.arg("lanes", static_cast<double>(lane_ids.size()));
+    span.arg("k", static_cast<double>(k));
     const auto sigs = signature_extractor::acquire_batch_shared(lane_ptrs, record,
                                                                 settings, *tables);
     return assemble_harmonics(lane_ids, sigs);

@@ -7,16 +7,23 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "shard/manifest.hpp"
 #include "shard/merger.hpp"
 #include "shard/supervisor.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace bistna::shard {
 
 struct coordinator_report {
     supervisor_result shards;
     merge_stats merge;
+    /// One telemetry snapshot per successful worker attempt, read from the
+    /// --telemetry sidecar stores; empty unless options.telemetry_sidecars
+    /// was set.  Feed them (plus the coordinator's own snapshot) to
+    /// merge_metrics / write_chrome_trace for a fleet-wide view.
+    std::vector<telemetry::telemetry_snapshot> worker_snapshots;
 };
 
 /// Run the whole lot: supervise options.shards worker processes over the

@@ -1,0 +1,60 @@
+// Structured one-line-per-event log format shared by shard workers and
+// the supervisor.
+//
+// Every event is a single line of space-separated key=value fields,
+// leading with a monotonic timestamp and the shard identity:
+//
+//   ts_us=123456 shard=2 attempt=1 event=spawned pid=4711 first=500 last=1000
+//
+// The timestamp is integer microseconds of CLOCK_MONOTONIC (per-boot, so
+// lines from the supervisor and every worker on one machine sort onto one
+// timeline), formatted without locale involvement.  Values never contain
+// spaces or newlines -- free-text (error messages) is sanitized -- so the
+// lines stay machine-splittable with nothing smarter than a whitespace
+// tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace bistna::shard {
+
+/// Builder for one structured event line.
+class event_line {
+public:
+    event_line(const char* event, std::size_t shard, std::size_t attempt) {
+        line_ = "ts_us=" + std::to_string(telemetry::now_ns() / 1000) +
+                " shard=" + std::to_string(shard) +
+                " attempt=" + std::to_string(attempt) + " event=" + event;
+    }
+
+    event_line& field(const char* key, const std::string& value) {
+        line_ += ' ';
+        line_ += key;
+        line_ += '=';
+        for (char c : value) {
+            line_ += (c == ' ' || c == '\n' || c == '\r' || c == '\t' ||
+                      c == '=')
+                         ? '_'
+                         : c;
+        }
+        return *this;
+    }
+
+    event_line& field(const char* key, std::uint64_t value) {
+        line_ += ' ';
+        line_ += key;
+        line_ += '=';
+        line_ += std::to_string(value);
+        return *this;
+    }
+
+    const std::string& str() const noexcept { return line_; }
+
+private:
+    std::string line_;
+};
+
+} // namespace bistna::shard

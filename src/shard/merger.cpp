@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "store/lot_store.hpp"
 #include "store/record_io.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace bistna::shard {
 
@@ -50,6 +52,9 @@ merge_stats merge_shard_stores(const std::vector<std::string>& shard_files,
                                const std::string& out_path,
                                std::uint64_t first_id, std::uint64_t id_count,
                                const merge_options& options) {
+    telemetry::trace_span span("shard.merge");
+    span.arg("files", static_cast<double>(shard_files.size()));
+    span.arg("ids", static_cast<double>(id_count));
     merge_stats stats;
     std::map<std::uint64_t, store::record> by_id;
 
@@ -112,6 +117,23 @@ merge_stats merge_shard_stores(const std::vector<std::string>& shard_files,
     out.flush();
     stats.records_merged = out.records_appended();
     stats.bytes_written = out.bytes();
+    // Registry mirrors of the returned struct (the merge.* taxonomy); the
+    // struct stays the API, the registry is how a fleet snapshot sees it.
+    static const telemetry::metric_id seen_id =
+        telemetry::counter_id("merge.records_seen");
+    static const telemetry::metric_id duplicates_id =
+        telemetry::counter_id("merge.duplicates_dropped");
+    static const telemetry::metric_id merged_id =
+        telemetry::counter_id("merge.records_merged");
+    static const telemetry::metric_id torn_id =
+        telemetry::counter_id("merge.torn_files");
+    static const telemetry::metric_id bytes_id =
+        telemetry::counter_id("merge.bytes_written");
+    telemetry::counter_add(seen_id, stats.records_seen);
+    telemetry::counter_add(duplicates_id, stats.duplicates_dropped);
+    telemetry::counter_add(merged_id, stats.records_merged);
+    telemetry::counter_add(torn_id, stats.torn_files);
+    telemetry::counter_add(bytes_id, stats.bytes_written);
     return stats;
 }
 

@@ -1,11 +1,13 @@
 #include "shard/supervisor.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <utility>
 
@@ -15,6 +17,8 @@
 #include <unistd.h>
 
 #include "common/error.hpp"
+#include "shard/event_log.hpp"
+#include "telemetry/metrics.hpp"
 
 extern char** environ;
 
@@ -30,7 +34,9 @@ struct running_worker {
     std::size_t attempt = 1;
     std::string store_path;
     std::string log_path;
+    std::string telemetry_path;
     clock_type::time_point started;
+    std::uint64_t started_ns = 0; ///< telemetry clock, for the attempt span
 };
 
 std::string attempt_file(const std::string& dir, std::size_t shard,
@@ -65,6 +71,28 @@ pid_t spawn_worker(const std::vector<std::string>& argv_strings,
                                   "': " + std::strerror(rc));
     }
     return pid;
+}
+
+/// Last bytes of a worker's log, newline-flattened, for inlining into a
+/// shard-exhausted diagnostic.  Unreadable logs degrade to an empty tail.
+std::string log_tail(const std::string& path, std::size_t max_bytes = 480) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {};
+    }
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    const std::uint64_t want = std::min<std::uint64_t>(size, max_bytes);
+    in.seekg(static_cast<std::streamoff>(size - want));
+    std::string tail(static_cast<std::size_t>(want), '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(want));
+    if (!in) {
+        return {};
+    }
+    std::replace_if(
+        tail.begin(), tail.end(),
+        [](char c) { return c == '\n' || c == '\r'; }, ' ');
+    return tail;
 }
 
 std::string describe_status(int status) {
@@ -128,17 +156,26 @@ supervisor_result run_shards(const lot_manifest& manifest,
         argv.push_back("--count=" + std::to_string(range.units));
         argv.push_back("--flush-interval=" + std::to_string(options.flush_interval));
         argv.push_back("--attempt=" + std::to_string(attempt));
+        // Unknown flags are ignored by workers, so the shard identity can
+        // ride along unconditionally.
+        argv.push_back("--shard=" + std::to_string(shard));
+        if (options.telemetry_sidecars) {
+            worker.telemetry_path =
+                attempt_file(options.shard_dir, shard, attempt, ".telemetry");
+            argv.push_back("--telemetry=" + worker.telemetry_path);
+        }
         for (const auto& extra : options.extra_worker_args) {
             argv.push_back(extra);
         }
 
         worker.started = clock_type::now();
+        worker.started_ns = telemetry::now_ns();
         worker.pid = spawn_worker(argv, worker.log_path);
-        emit("shard " + std::to_string(shard) + " attempt " +
-             std::to_string(attempt) + ": spawned pid " +
-             std::to_string(worker.pid) + " for units [" +
-             std::to_string(range.first) + ", " +
-             std::to_string(range.first + range.units) + ")");
+        emit(event_line("spawned", shard, attempt)
+                 .field("pid", static_cast<std::uint64_t>(worker.pid))
+                 .field("first", range.first)
+                 .field("count", range.units)
+                 .str());
         result.shard_files.push_back(worker.store_path);
         running.push_back(std::move(worker));
     };
@@ -150,30 +187,41 @@ supervisor_result run_shards(const lot_manifest& manifest,
         attempt.attempt = worker.attempt;
         attempt.store_path = worker.store_path;
         attempt.log_path = worker.log_path;
+        attempt.telemetry_path = worker.telemetry_path;
         attempt.wait_status = status;
         attempt.timed_out = timed_out;
         attempt.succeeded =
             !timed_out && WIFEXITED(status) && WEXITSTATUS(status) == 0;
         result.attempts.push_back(attempt);
 
+        // The attempt span lands in the coordinator's own trace lane; no-op
+        // when the coordinator process isn't metered.
+        telemetry::emit_span("shard.attempt", worker.started_ns,
+                             telemetry::now_ns() - worker.started_ns, "shard",
+                             static_cast<double>(worker.shard), "attempt",
+                             static_cast<double>(worker.attempt));
+
         if (attempt.succeeded) {
             shard_done[worker.shard] = true;
-            emit("shard " + std::to_string(worker.shard) + " attempt " +
-                 std::to_string(worker.attempt) + ": completed");
+            emit(event_line("completed", worker.shard, worker.attempt).str());
             return;
         }
-        emit("shard " + std::to_string(worker.shard) + " attempt " +
-             std::to_string(worker.attempt) + ": " +
-             (timed_out ? std::string("straggler killed")
-                        : describe_status(status)));
+        emit(event_line(timed_out ? "straggler_killed" : "worker_failed",
+                        worker.shard, worker.attempt)
+                 .field("status", describe_status(status))
+                 .str());
         if (worker.attempt >= options.max_attempts) {
+            const std::string tail = log_tail(worker.log_path);
             throw configuration_error(
                 "shard supervisor: shard " + std::to_string(worker.shard) +
                 " failed after " + std::to_string(worker.attempt) +
                 " attempts (last: " +
                 (timed_out ? std::string("straggler timeout")
                            : describe_status(status)) +
-                "; see " + worker.log_path + ")");
+                "; see " + worker.log_path +
+                (tail.empty() ? std::string()
+                              : "; log tail: " + tail) +
+                ")");
         }
         ++result.retries;
         pending.emplace_back(worker.shard, worker.attempt + 1);

@@ -48,7 +48,13 @@ struct supervisor_options {
     std::string shard_dir;
     /// Worker-side store flush cadence (forwarded as --flush-interval=).
     std::size_t flush_interval = 32;
-    /// Optional progress observer (spawn/exit/kill/retry lines).
+    /// Ask every worker to write a telemetry-snapshot sidecar store next to
+    /// its shard store (forwarded as --telemetry=).  The coordinator reads
+    /// the sidecars of successful attempts to merge fleet-wide metrics and
+    /// build one cross-process trace.
+    bool telemetry_sidecars = false;
+    /// Optional progress observer: structured one-line-per-event logs
+    /// (`ts_us=... shard=... attempt=... event=...`).
     std::function<void(const std::string&)> on_event;
 };
 
@@ -58,6 +64,7 @@ struct shard_attempt {
     std::size_t attempt = 1;      ///< 1-based
     std::string store_path;
     std::string log_path;
+    std::string telemetry_path;   ///< empty unless telemetry_sidecars was set
     int wait_status = 0;          ///< raw waitpid status
     bool timed_out = false;       ///< supervisor killed it as a straggler
     bool succeeded = false;       ///< exited 0

@@ -4,6 +4,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,8 +14,12 @@
 #include "core/sweep_engine.hpp"
 #include "diag/fault_dictionary.hpp"
 #include "diag/trajectory_builder.hpp"
+#include "shard/event_log.hpp"
 #include "store/lot_store.hpp"
 #include "store/records.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot_record.hpp"
+#include "telemetry/span.hpp"
 
 namespace bistna::shard {
 
@@ -65,6 +70,10 @@ worker_shard_report run_worker_shard(const lot_manifest& manifest,
             die_mid_frame(out);
         }
     };
+
+    telemetry::trace_span stream_span("shard.stream");
+    stream_span.arg("first", static_cast<double>(options.first_unit));
+    stream_span.arg("units", static_cast<double>(options.units));
 
     if (manifest.workload == workload_kind::screening) {
         core::sweep_engine engine(manifest.make_factory(), manifest.make_settings(),
@@ -133,9 +142,25 @@ int worker_main(int argc, char** argv) {
                      "--kill-attempt=N] [--stall-ms=N --stall-attempt=N]\n");
         return 2;
     }
+    const auto shard_id =
+        static_cast<std::size_t>(flag_value(argc, argv, "shard", 0.0));
+    const auto attempt =
+        static_cast<std::uint64_t>(flag_value(argc, argv, "attempt", 1.0));
     try {
         const lot_manifest manifest = lot_manifest::load(manifest_path);
         const std::uint64_t total = manifest.total_units();
+
+        // A telemetry sidecar path turns this worker into a metered process:
+        // attach for the run, then serialize the snapshot next to the shard
+        // store so the coordinator can merge fleet-wide metrics and lanes.
+        const std::string telemetry_path = flag_text(argc, argv, "telemetry");
+        std::optional<telemetry::metric_registry> registry;
+        if (!telemetry_path.empty()) {
+            registry.emplace();
+            registry->set_process_name("shard-" + std::to_string(shard_id));
+            registry->attach();
+            telemetry::set_thread_name("shard-main");
+        }
 
         worker_shard_options options;
         options.first_unit =
@@ -149,8 +174,6 @@ int worker_main(int argc, char** argv) {
 
         // Injected faults fire only on the attempt they target, so a
         // retried shard succeeds -- the shape every supervisor test needs.
-        const auto attempt =
-            static_cast<std::uint64_t>(flag_value(argc, argv, "attempt", 1.0));
         if (flag_present(argc, argv, "kill-after-records") &&
             attempt == static_cast<std::uint64_t>(
                            flag_value(argc, argv, "kill-attempt", 1.0))) {
@@ -164,16 +187,34 @@ int worker_main(int argc, char** argv) {
                 static_cast<std::uint64_t>(flag_value(argc, argv, "stall-ms", 0.0));
         }
 
+        std::printf("%s\n", event_line("start", shard_id, attempt)
+                                .field("first", options.first_unit)
+                                .field("count", options.units)
+                                .str()
+                                .c_str());
+        std::fflush(stdout);
+
         const worker_shard_report report =
             run_worker_shard(manifest, out_path, options);
-        std::printf("shard worker: units [%llu, %llu) -> %llu records, %llu bytes, %s\n",
-                    static_cast<unsigned long long>(options.first_unit),
-                    static_cast<unsigned long long>(options.first_unit + options.units),
-                    static_cast<unsigned long long>(report.records),
-                    static_cast<unsigned long long>(report.bytes), out_path.c_str());
+
+        if (registry) {
+            registry->detach();
+            telemetry::write_snapshot_store(telemetry_path,
+                                            registry->snapshot());
+        }
+        std::printf("%s\n", event_line("done", shard_id, attempt)
+                                .field("records", report.records)
+                                .field("bytes", report.bytes)
+                                .field("out", out_path)
+                                .str()
+                                .c_str());
         return 0;
     } catch (const std::exception& error) {
-        std::fprintf(stderr, "shard worker: %s\n", error.what());
+        std::fprintf(stderr, "%s\n",
+                     event_line("error", shard_id, attempt)
+                         .field("what", std::string(error.what()))
+                         .str()
+                         .c_str());
         return 1;
     }
 }

@@ -54,6 +54,7 @@ enum class record_type : std::uint16_t {
     trajectory_point = 3,  ///< one diag dictionary severity-grid point
     dictionary_header = 4, ///< fault-dictionary metadata (space, shape)
     dictionary_matrix = 5, ///< contiguous f64 block of all dictionary rows
+    telemetry_snapshot = 6, ///< one process's telemetry snapshot (sidecar)
 };
 
 /// One decoded frame: the type tag plus its raw payload bytes.

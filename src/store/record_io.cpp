@@ -5,8 +5,30 @@
 
 #include "common/error.hpp"
 #include "store/crc32.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bistna::store {
+
+namespace {
+
+telemetry::metric_id frames_counter() {
+    static const telemetry::metric_id id =
+        telemetry::counter_id("store.frames");
+    return id;
+}
+
+telemetry::metric_id bytes_counter() {
+    static const telemetry::metric_id id = telemetry::counter_id("store.bytes");
+    return id;
+}
+
+telemetry::metric_id flush_histogram() {
+    static const telemetry::metric_id id =
+        telemetry::histogram_id("store.flush_ns");
+    return id;
+}
+
+} // namespace
 
 std::vector<std::uint8_t> encode_frame(record_type type,
                                        std::span<const std::uint8_t> payload) {
@@ -58,10 +80,20 @@ void record_writer::append(record_type type, std::span<const std::uint8_t> paylo
     }
     offset_ += frame.size();
     ++records_;
+    telemetry::counter_add(frames_counter());
+    telemetry::counter_add(bytes_counter(), frame.size());
 }
 
 void record_writer::flush() {
+    // Clock reads only when someone is listening; the flush itself is the
+    // syscall-bound part of the store hot path.
+    const bool instrument = telemetry::attached();
+    const std::uint64_t start_ns = instrument ? telemetry::now_ns() : 0;
     out_.flush();
+    if (instrument) {
+        telemetry::histogram_record(flush_histogram(),
+                                    telemetry::now_ns() - start_ns);
+    }
     if (!out_) {
         throw configuration_error("record_writer: flush of '" + path_ + "' failed");
     }

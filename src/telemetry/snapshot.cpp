@@ -1,0 +1,86 @@
+#include "telemetry/snapshot.hpp"
+
+#include <algorithm>
+
+namespace bistna::telemetry {
+
+std::uint64_t histogram_value::quantile_upper_bound(double q) const noexcept {
+    if (count == 0) {
+        return 0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+        cumulative += buckets[k];
+        if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+            return bucket_upper_bound(k);
+        }
+    }
+    return bucket_upper_bound(buckets.size() - 1);
+}
+
+const counter_value*
+telemetry_snapshot::find_counter(const std::string& name) const noexcept {
+    for (const counter_value& c : counters) {
+        if (c.name == name) {
+            return &c;
+        }
+    }
+    return nullptr;
+}
+
+const histogram_value*
+telemetry_snapshot::find_histogram(const std::string& name) const noexcept {
+    for (const histogram_value& h : histograms) {
+        if (h.name == name) {
+            return &h;
+        }
+    }
+    return nullptr;
+}
+
+std::uint64_t telemetry_snapshot::counter(const std::string& name) const noexcept {
+    const counter_value* c = find_counter(name);
+    return c == nullptr ? 0 : c->value;
+}
+
+telemetry_snapshot merge_metrics(std::span<const telemetry_snapshot> processes) {
+    telemetry_snapshot merged;
+    merged.process_name = "fleet";
+    for (const telemetry_snapshot& snap : processes) {
+        for (const counter_value& c : snap.counters) {
+            bool found = false;
+            for (counter_value& out : merged.counters) {
+                if (out.name == c.name) {
+                    out.value += c.value;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                merged.counters.push_back(c);
+            }
+        }
+        for (const histogram_value& h : snap.histograms) {
+            bool found = false;
+            for (histogram_value& out : merged.histograms) {
+                if (out.name == h.name) {
+                    out.count += h.count;
+                    out.sum += h.sum;
+                    for (std::size_t k = 0; k < out.buckets.size(); ++k) {
+                        out.buckets[k] += h.buckets[k];
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                merged.histograms.push_back(h);
+            }
+        }
+    }
+    return merged;
+}
+
+} // namespace bistna::telemetry

@@ -1,0 +1,119 @@
+// Passive telemetry data: what a metric_registry's snapshot() returns and
+// what travels between processes (see snapshot_record.hpp).
+//
+// Everything here is plain copyable data -- no atomics, no registry
+// machinery -- so a snapshot can be serialized into a store frame by a
+// shard worker, read back by the coordinator, merged fleet-wide and
+// exported as a Chrome trace without touching the live registry.
+//
+// Histograms are log-2 bucketed: bucket 0 holds the value 0, bucket k >= 1
+// holds values in [2^(k-1), 2^k - 1] (bucket = std::bit_width(value)), so
+// 65 buckets cover the whole u64 range.  Exact count and sum ride along,
+// so the mean is exact and only the quantiles are bucket-resolution
+// approximations.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bistna::telemetry {
+
+inline constexpr std::size_t histogram_buckets = 65;
+
+/// Bucket of `value`: 0 -> 0, otherwise std::bit_width (1..64).
+constexpr std::size_t bucket_index(std::uint64_t value) noexcept {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Smallest value bucket `bucket` holds (0, then 2^(k-1)).
+constexpr std::uint64_t bucket_lower_bound(std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+/// Largest value bucket `bucket` holds (0, then 2^k - 1).
+constexpr std::uint64_t bucket_upper_bound(std::size_t bucket) noexcept {
+    if (bucket == 0) {
+        return 0;
+    }
+    if (bucket >= 64) {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+    return (std::uint64_t{1} << bucket) - 1;
+}
+
+struct counter_value {
+    std::string name;
+    std::uint64_t value = 0;
+
+    bool operator==(const counter_value&) const = default;
+};
+
+struct histogram_value {
+    std::string name;
+    std::uint64_t count = 0; ///< samples recorded
+    std::uint64_t sum = 0;   ///< exact sum of all samples
+    std::array<std::uint64_t, histogram_buckets> buckets{};
+
+    double mean() const noexcept {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// q * count -- a bucket-resolution quantile (exact mean comes from
+    /// sum/count instead).
+    std::uint64_t quantile_upper_bound(double q) const noexcept;
+
+    bool operator==(const histogram_value&) const = default;
+};
+
+/// One completed trace span (names interned from literals in the live
+/// registry, copied out here).
+struct span_value {
+    std::string name;
+    std::uint32_t tid = 0;
+    std::uint64_t start_ns = 0;    ///< steady-clock ns since boot
+    std::uint64_t duration_ns = 0;
+    std::vector<std::pair<std::string, double>> args;
+
+    bool operator==(const span_value&) const = default;
+};
+
+struct thread_info {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::uint64_t dropped_spans = 0; ///< span-ring overflow count
+
+    bool operator==(const thread_info&) const = default;
+};
+
+/// Everything one process's registry knows, frozen at snapshot time.
+struct telemetry_snapshot {
+    std::string process_name;
+    std::uint64_t pid = 0;
+    std::vector<counter_value> counters;     ///< registration order
+    std::vector<histogram_value> histograms; ///< registration order
+    std::vector<thread_info> threads;
+    std::vector<span_value> spans;
+
+    const counter_value* find_counter(const std::string& name) const noexcept;
+    const histogram_value* find_histogram(const std::string& name) const noexcept;
+    /// Counter value by name; 0 when the counter was never registered.
+    std::uint64_t counter(const std::string& name) const noexcept;
+
+    bool operator==(const telemetry_snapshot&) const = default;
+};
+
+/// Fleet-wide metric rollup: counters summed and histograms merged by
+/// name across every process snapshot (union of names, first-seen order).
+/// Spans and threads are per-process by nature and stay empty -- the
+/// cross-process view of those is the Chrome trace (trace_export.hpp).
+telemetry_snapshot merge_metrics(std::span<const telemetry_snapshot> processes);
+
+} // namespace bistna::telemetry

@@ -1,0 +1,38 @@
+// Telemetry snapshots as typed store records, so a shard worker can leave
+// its metrics and spans behind in a sidecar store file
+// (shard-<i>-attempt-<j>.telemetry) and the coordinator can read them back
+// and merge one fleet-wide view -- same framing, CRCs, and torn-tail
+// recovery as the result stores.
+//
+// Payload layout (record_type::telemetry_snapshot), all counts validated
+// against the payload bounds before trusting:
+//   u64 pid, str process_name
+//   u32 n_counters   x { str name, u64 value }
+//   u32 n_histograms x { str name, u64 count, u64 sum,
+//                        u32 n_buckets, u64 buckets[n_buckets] }
+//   u32 n_threads    x { u32 tid, str name, u64 dropped_spans }
+//   u32 n_spans      x { u32 tid, str name, u64 start_ns, u64 duration_ns,
+//                        u8 n_args x { str key, f64 value } }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace bistna::telemetry {
+
+store::record to_record(const telemetry_snapshot& snapshot);
+telemetry_snapshot snapshot_from_record(const store::record& r,
+                                        std::uint64_t payload_offset = 0);
+
+/// Write `snapshot` as the sole record of a fresh store file at `path`.
+void write_snapshot_store(const std::string& path,
+                          const telemetry_snapshot& snapshot);
+
+/// Read every telemetry_snapshot record from the store file at `path`
+/// (normally exactly one).
+std::vector<telemetry_snapshot> read_snapshot_store(const std::string& path);
+
+} // namespace bistna::telemetry

@@ -1,0 +1,64 @@
+// Scoped trace timer.  Construction samples the clock only when a
+// registry is attached; destruction emits the completed span into the
+// calling thread's ring.  Detached cost is one atomic load and a branch.
+//
+//     {
+//         telemetry::trace_span span("engine.render");
+//         span.arg("limits", static_cast<double>(limits));
+//         ... work ...
+//     } // span recorded here
+//
+// `name` and arg keys must be string literals (the ring stores pointers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace bistna::telemetry {
+
+class trace_span {
+public:
+    explicit trace_span(const char* name) noexcept
+        : name_(name), armed_(attached()), start_ns_(armed_ ? now_ns() : 0) {}
+
+    ~trace_span() {
+        if (!armed_) {
+            return;
+        }
+        const std::uint64_t end_ns = now_ns();
+        emit_span(name_, start_ns_,
+                  end_ns >= start_ns_ ? end_ns - start_ns_ : 0, keys_[0],
+                  vals_[0], keys_[1], vals_[1]);
+    }
+
+    trace_span(const trace_span&) = delete;
+    trace_span& operator=(const trace_span&) = delete;
+
+    /// Attach a numeric arg (up to two; extras are dropped).  `key` must
+    /// be a string literal.
+    void arg(const char* key, double value) noexcept {
+        if (!armed_) {
+            return;
+        }
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == nullptr) {
+                keys_[i] = key;
+                vals_[i] = value;
+                return;
+            }
+        }
+    }
+
+    bool armed() const noexcept { return armed_; }
+
+private:
+    const char* name_;
+    bool armed_;
+    std::uint64_t start_ns_;
+    std::array<const char*, 2> keys_{};
+    std::array<double, 2> vals_{};
+};
+
+} // namespace bistna::telemetry

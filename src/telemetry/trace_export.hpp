@@ -1,0 +1,35 @@
+// Export telemetry snapshots as Chrome trace_event JSON (the format
+// chrome://tracing and https://ui.perfetto.dev load), and render metric
+// tables for terminals.
+//
+// One snapshot per process goes in; each becomes a process lane (pid +
+// process_name metadata) with named thread rows and "X" complete events
+// for every span.  Timestamps are rebased so the earliest span across all
+// processes is t=0 -- valid because every process stamped spans from the
+// same per-boot CLOCK_MONOTONIC.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "telemetry/snapshot.hpp"
+
+namespace bistna::telemetry {
+
+/// Write one merged Chrome trace covering every process snapshot.
+void write_chrome_trace(std::ostream& out,
+                        std::span<const telemetry_snapshot> processes);
+
+std::string chrome_trace_json(std::span<const telemetry_snapshot> processes);
+
+/// Write the trace to `path` (truncating).  Throws configuration_error on
+/// I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             std::span<const telemetry_snapshot> processes);
+
+/// Human-readable metric dump: non-zero counters, then histograms with
+/// count / mean / approximate p50/p95/p99.
+void print_metrics(std::ostream& out, const telemetry_snapshot& snapshot);
+
+} // namespace bistna::telemetry

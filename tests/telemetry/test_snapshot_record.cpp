@@ -1,0 +1,135 @@
+// Telemetry snapshots as typed store records: the shard fleet's sidecar
+// format.  Round trips go through real store files (framing, CRCs), and
+// the decoder's bounds checks are exercised with deliberately mangled
+// payloads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "store/format.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/snapshot_record.hpp"
+
+namespace {
+
+using namespace bistna;
+
+telemetry::telemetry_snapshot full_snapshot() {
+    telemetry::telemetry_snapshot snapshot;
+    snapshot.process_name = "shard-3";
+    snapshot.pid = 4711;
+    snapshot.counters.push_back({"engine.stimulus.hits", 120});
+    snapshot.counters.push_back({"store.frames", 0});
+    telemetry::histogram_value hist;
+    hist.name = "job_queue.task.run_ns";
+    hist.count = 3;
+    hist.sum = 1 + 700 + 70000;
+    hist.buckets[telemetry::bucket_index(1)] += 1;
+    hist.buckets[telemetry::bucket_index(700)] += 1;
+    hist.buckets[telemetry::bucket_index(70000)] += 1;
+    snapshot.histograms.push_back(hist);
+    snapshot.threads.push_back({1, "shard-main", 0});
+    snapshot.threads.push_back({2, "jq-worker-0", 17});
+    snapshot.spans.push_back({"engine.render", 2, 1000, 500, {{"lanes", 4.0}}});
+    snapshot.spans.push_back(
+        {"shard.stream", 1, 900, 9000, {{"first", 6.0}, {"units", 3.0}}});
+    return snapshot;
+}
+
+TEST(TelemetrySnapshotRecord, RecordRoundTripPreservesEverything) {
+    const auto original = full_snapshot();
+    const store::record r = telemetry::to_record(original);
+    EXPECT_EQ(r.type, store::record_type::telemetry_snapshot);
+    const auto decoded = telemetry::snapshot_from_record(r);
+    EXPECT_EQ(decoded, original);
+}
+
+TEST(TelemetrySnapshotRecord, StoreFileRoundTripPreservesEverything) {
+    const std::string path = "/tmp/bistna_telemetry_sidecar_test.store";
+    std::filesystem::remove(path);
+    const auto original = full_snapshot();
+    telemetry::write_snapshot_store(path, original);
+
+    const auto loaded = telemetry::read_snapshot_store(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0], original);
+    std::filesystem::remove(path);
+}
+
+TEST(TelemetrySnapshotRecord, EmptySnapshotRoundTrips) {
+    const telemetry::telemetry_snapshot empty;
+    EXPECT_EQ(telemetry::snapshot_from_record(telemetry::to_record(empty)),
+              empty);
+}
+
+TEST(TelemetrySnapshotRecord, TruncatedPayloadThrowsSerializationError) {
+    store::record r = telemetry::to_record(full_snapshot());
+    r.payload.resize(r.payload.size() / 2);
+    EXPECT_THROW(telemetry::snapshot_from_record(r), serialization_error);
+}
+
+TEST(TelemetrySnapshotRecord, ImplausibleListCountThrowsBeforeAllocating) {
+    store::record r = telemetry::to_record(telemetry::telemetry_snapshot{});
+    // The first u32 after pid + process_name is the counter count; forge it
+    // to claim ~4 billion entries in a near-empty payload.
+    ASSERT_GE(r.payload.size(), 8u + 4 + 4);
+    const std::size_t count_offset = 8 + 4; // u64 pid, u32 empty-string len
+    r.payload[count_offset + 0] = 0xFF;
+    r.payload[count_offset + 1] = 0xFF;
+    r.payload[count_offset + 2] = 0xFF;
+    r.payload[count_offset + 3] = 0xFF;
+    EXPECT_THROW(telemetry::snapshot_from_record(r), serialization_error);
+}
+
+TEST(TelemetrySnapshotRecord, MergeMetricsSumsCountersAndHistograms) {
+    telemetry::telemetry_snapshot a;
+    a.process_name = "shard-0";
+    a.counters.push_back({"items", 10});
+    a.counters.push_back({"only_a", 1});
+    telemetry::histogram_value ha;
+    ha.name = "latency";
+    ha.count = 2;
+    ha.sum = 5;
+    ha.buckets[1] = 1;
+    ha.buckets[2] = 1;
+    a.histograms.push_back(ha);
+
+    telemetry::telemetry_snapshot b;
+    b.process_name = "shard-1";
+    b.counters.push_back({"items", 32});
+    b.counters.push_back({"only_b", 2});
+    telemetry::histogram_value hb;
+    hb.name = "latency";
+    hb.count = 1;
+    hb.sum = 100;
+    hb.buckets[7] = 1;
+    b.histograms.push_back(hb);
+
+    const std::vector<telemetry::telemetry_snapshot> fleet = {a, b};
+    const auto merged = telemetry::merge_metrics(fleet);
+    EXPECT_EQ(merged.counter("items"), 42u);
+    EXPECT_EQ(merged.counter("only_a"), 1u);
+    EXPECT_EQ(merged.counter("only_b"), 2u);
+    const auto* hist = merged.find_histogram("latency");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 3u);
+    EXPECT_EQ(hist->sum, 105u);
+    EXPECT_EQ(hist->buckets[1], 1u);
+    EXPECT_EQ(hist->buckets[2], 1u);
+    EXPECT_EQ(hist->buckets[7], 1u);
+    // Per-process data does not merge; the trace is the cross-process view.
+    EXPECT_TRUE(merged.spans.empty());
+    EXPECT_TRUE(merged.threads.empty());
+}
+
+TEST(TelemetrySnapshotRecord, WrongRecordTypeThrows) {
+    store::record r = telemetry::to_record(telemetry::telemetry_snapshot{});
+    r.type = store::record_type::screening_report;
+    EXPECT_THROW(telemetry::snapshot_from_record(r), serialization_error);
+}
+
+} // namespace
