@@ -1,0 +1,18 @@
+// bistna_serverd -- the screening service daemon.
+//
+//   bistna_serverd [--listen=PATH | --listen=tcp:PORT] [--tcp=PORT]
+//                  [--threads=N] [--active-jobs=N] [--admission=N]
+//                  [--quota=N] [--send-queue-bytes=N]
+//                  [--stall-timeout-ms=MS] [--idle-timeout-ms=MS]
+//                  [--progress-every=N] [--trace=PATH] [--metrics]
+//
+// Accepts lot manifests over the framed socket protocol and streams
+// per-die records back, multiplexing every connected client onto one
+// shared worker pool.  See README "Screening as a service" and
+// src/svc/server.hpp for the full semantics; stop with SIGINT/SIGTERM.
+
+#include "svc/server.hpp"
+
+int main(int argc, char** argv) {
+    return bistna::svc::server_main(argc, argv);
+}

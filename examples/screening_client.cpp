@@ -1,0 +1,17 @@
+// screening_client -- submit a lot to a running bistna_serverd and stream
+// the records back.
+//
+//   screening_client [--connect=PATH | --connect=tcp:PORT]
+//                    [--manifest=PATH.json | --dice=N --sigma=S --lanes=N]
+//                    [--store=PATH] [--cancel-after=N]
+//
+// With --store the streamed records are appended to a lot store file that
+// is byte-identical to what `screening_lot --store` would have written
+// offline -- the service streams the exact same records in the exact same
+// order.  --cancel-after=N exercises cooperative mid-job cancel.
+
+#include "svc/client.hpp"
+
+int main(int argc, char** argv) {
+    return bistna::svc::client_main(argc, argv);
+}

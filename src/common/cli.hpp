@@ -1,13 +1,16 @@
-// Tiny argv helpers shared by the example programs and the shard
+// Tiny argv helpers shared by the example programs and the shard/service
 // executables: "--name=value" flags, nothing more.  Extracted from the
 // (formerly duplicated) copies in examples/screening_lot.cpp and
 // examples/fault_diagnosis.cpp so every command-line front end parses
 // flags the same way.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "common/error.hpp"
 
 namespace bistna {
 
@@ -31,6 +34,60 @@ inline std::string flag_text(int argc, char** argv, const char* name) {
         }
     }
     return {};
+}
+
+/// Parse a string-valued "--name=value" flag with a default: the flag's
+/// value when present, `fallback` when the flag is absent entirely.  An
+/// explicit empty value ("--listen=") throws configuration_error -- for
+/// the flags this exists for (socket paths, file names) an empty string
+/// is never a usable value, and silently substituting the default would
+/// hide the typo.
+inline std::string flag_string(int argc, char** argv, const char* name,
+                               const std::string& fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            std::string value(argv[i] + prefix.size());
+            if (value.empty()) {
+                throw configuration_error(std::string("flag --") + name +
+                                          " requires a non-empty value");
+            }
+            return value;
+        }
+    }
+    return fallback;
+}
+
+/// Strictly parse an unsigned-integer "--name=value" flag: the whole value
+/// must be decimal digits ("8", not "8x" or "-1" or "0.5"); malformed
+/// values throw configuration_error naming the flag instead of being
+/// silently read as 0 the way flag_value's strtod would.
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) {
+            continue;
+        }
+        const char* text = argv[i] + prefix.size();
+        if (*text == '\0') {
+            throw configuration_error(std::string("flag --") + name +
+                                      " requires a value");
+        }
+        std::uint64_t value = 0;
+        for (const char* p = text; *p != '\0'; ++p) {
+            const bool digit = *p >= '0' && *p <= '9';
+            const std::uint64_t d = digit ? static_cast<std::uint64_t>(*p - '0') : 0;
+            if (!digit || value > UINT64_MAX / 10 ||
+                (value == UINT64_MAX / 10 && d > UINT64_MAX % 10)) {
+                throw configuration_error(std::string("flag --") + name + "=" + text +
+                                          ": expected a non-negative integer");
+            }
+            value = value * 10 + d;
+        }
+        return value;
+    }
+    return fallback;
 }
 
 /// True when "--name=value" appears in argv at all.

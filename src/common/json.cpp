@@ -1,6 +1,10 @@
 #include "common/json.hpp"
 
+#include <array>
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -203,6 +207,116 @@ private:
 
 json_value parse_json(std::string_view text, const std::string& context) {
     return json_parser(text, context).parse();
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) {
+        throw configuration_error("json_number: JSON cannot represent NaN or infinity");
+    }
+    // Integral doubles below 2^53 print as plain integers: "42", not
+    // "4.2e1" or "42.0" -- seeds and counts must survive a round trip
+    // through get_u64-style strict readers.  Negative zero is excluded:
+    // the integer cast would drop its sign bit.
+    if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15 &&
+        !(value == 0.0 && std::signbit(value))) {
+        std::array<char, 32> buf{};
+        const auto r = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                     static_cast<long long>(value));
+        return std::string(buf.data(), r.ptr);
+    }
+    // Shortest representation that round-trips to the same bit pattern;
+    // to_chars is locale-independent by specification.
+    std::array<char, 64> buf{};
+    const auto r = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+    return std::string(buf.data(), r.ptr);
+}
+
+namespace {
+
+void write_value(std::string& out, const json_value& v) {
+    switch (v.type) {
+    case json_value::kind::null: out += "null"; return;
+    case json_value::kind::boolean: out += v.b ? "true" : "false"; return;
+    case json_value::kind::number: out += json_number(v.num); return;
+    case json_value::kind::string:
+        out += '"';
+        out += json_escape(v.str);
+        out += '"';
+        return;
+    case json_value::kind::object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, member] : v.members) {
+            if (!first) {
+                out += ',';
+            }
+            first = false;
+            out += '"';
+            out += json_escape(key);
+            out += "\":";
+            write_value(out, member);
+        }
+        out += '}';
+        return;
+    }
+    case json_value::kind::array: {
+        out += '[';
+        for (std::size_t i = 0; i < v.elements.size(); ++i) {
+            if (i != 0) {
+                out += ',';
+            }
+            write_value(out, v.elements[i]);
+        }
+        out += ']';
+        return;
+    }
+    }
+}
+
+} // namespace
+
+std::string to_json(const json_value& value) {
+    std::string out;
+    write_value(out, value);
+    return out;
+}
+
+bool json_equal(const json_value& a, const json_value& b) {
+    if (a.type != b.type) {
+        return false;
+    }
+    switch (a.type) {
+    case json_value::kind::null: return true;
+    case json_value::kind::boolean: return a.b == b.b;
+    case json_value::kind::number:
+        // Bit-pattern compare: -0.0 vs 0.0 must mismatch (the writer
+        // distinguishes them), and there are no NaNs to worry about (the
+        // parser cannot produce one).
+        return std::memcmp(&a.num, &b.num, sizeof(double)) == 0;
+    case json_value::kind::string: return a.str == b.str;
+    case json_value::kind::object:
+        if (a.members.size() != b.members.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < a.members.size(); ++i) {
+            if (a.members[i].first != b.members[i].first ||
+                !json_equal(a.members[i].second, b.members[i].second)) {
+                return false;
+            }
+        }
+        return true;
+    case json_value::kind::array:
+        if (a.elements.size() != b.elements.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < a.elements.size(); ++i) {
+            if (!json_equal(a.elements[i], b.elements[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+    return false;
 }
 
 std::string json_escape(const std::string& s) {

@@ -44,4 +44,24 @@ json_value parse_json(std::string_view text, const std::string& context = "JSON"
 /// of the parser's basic-escape handling).
 std::string json_escape(const std::string& s);
 
+/// Format a finite double as a JSON number: shortest exact round-trip via
+/// std::to_chars, so the output is locale-independent (an ostream under a
+/// comma-decimal locale would emit "0,03" -- invalid JSON) and parses back
+/// to the identical bit pattern.  Integral values below 2^53 print without
+/// an exponent or trailing ".0" so seeds stay readable.  Throws
+/// configuration_error on NaN/inf -- JSON has no spelling for them, and a
+/// writer that silently emitted "null" would break the strict round trip.
+std::string json_number(double value);
+
+/// Serialize a json_value as one compact JSON document -- the exact
+/// inverse of parse_json: to_json(parse_json(t)) reparses to an equal
+/// tree, and parse_json(to_json(v)) == v for any tree the writer accepts
+/// (finite numbers only).  Object members keep insertion order.
+std::string to_json(const json_value& value);
+
+/// True when two parsed trees are structurally equal (same kinds, member
+/// order, string bytes; numbers compared by bit pattern so -0.0 != 0.0
+/// mirrors the round-trip guarantee).
+bool json_equal(const json_value& a, const json_value& b);
+
 } // namespace bistna

@@ -69,7 +69,8 @@ std::size_t resolve_threads(std::size_t threads) {
 
 } // namespace
 
-job_queue::job_queue(std::size_t threads) : threads_(resolve_threads(threads)) {}
+job_queue::job_queue(std::size_t threads, job_schedule schedule)
+    : threads_(resolve_threads(threads)), schedule_(schedule) {}
 
 job_queue::~job_queue() {
     {
@@ -132,13 +133,26 @@ void job_queue::worker_loop(std::size_t worker_index) {
             if (jobs_.empty()) {
                 return; // stopping and drained
             }
-            // Jobs drain in submission order; concurrent jobs interleave
-            // only when the front job has no unclaimed tasks left (its
-            // tail may still be in flight on other workers).
-            job = jobs_.front();
+            // fifo drains jobs in submission order (concurrent jobs
+            // interleave only when the front job has no unclaimed tasks
+            // left); round_robin claims one task per job in rotation, so
+            // every live job keeps making progress.
+            std::size_t pick = 0;
+            if (schedule_ == job_schedule::round_robin) {
+                if (rr_cursor_ >= jobs_.size()) {
+                    rr_cursor_ = 0;
+                }
+                pick = rr_cursor_;
+            }
+            job = jobs_[pick];
             task = job->next_task++;
             if (job->next_task == job->task_count) {
-                jobs_.pop_front();
+                // A drained job leaves the rotation; the cursor stays put,
+                // so the job that slides into this slot is served next.
+                jobs_.erase(jobs_.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+            } else if (schedule_ == job_schedule::round_robin) {
+                ++rr_cursor_;
             }
         }
         // Clock reads only when a registry is listening: the detached hot

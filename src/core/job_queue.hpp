@@ -121,6 +121,14 @@ struct job_channel {
     /// still published to the stream and completed().
     std::function<void(std::size_t, const R&)> on_item;
 
+    /// Optional post-publish notifier (see
+    /// job_handle::set_published_callback).  Runs on the accounting worker
+    /// thread AFTER the channel lock is released, so everything the event
+    /// that triggered it made visible (new stream items, a terminal state
+    /// flip) is observable from the callback or from any thread it wakes.
+    /// Guarded by `mutex` for registration; copied out before invocation.
+    std::function<void()> on_published;
+
     /// Publish items [first, first + group.size()): callback first, then
     /// slots + stream under the lock, finalizing the job if this accounts
     /// for the last item.
@@ -137,23 +145,37 @@ struct job_channel {
                 }
             }
         }
-        std::lock_guard<std::mutex> lock(mutex);
-        for (std::size_t l = 0; l < group.size(); ++l) {
-            results[first + l] = std::move(group[l]);
-            item_completed[first + l] = 1;
-            stream.push_back(first + l);
+        std::function<void()> published;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (std::size_t l = 0; l < group.size(); ++l) {
+                results[first + l] = std::move(group[l]);
+                item_completed[first + l] = 1;
+                stream.push_back(first + l);
+            }
+            completed_count += group.size();
+            if (callback_error && !error) {
+                error = std::move(callback_error);
+            }
+            account(group.size());
+            published = on_published;
         }
-        completed_count += group.size();
-        if (callback_error && !error) {
-            error = std::move(callback_error);
+        if (published) {
+            published();
         }
-        account(group.size());
     }
 
     /// Account `count` items that will never complete (cancel skip).
     void skip_items(std::size_t count) {
-        std::lock_guard<std::mutex> lock(mutex);
-        account(count);
+        std::function<void()> published;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            account(count);
+            published = on_published;
+        }
+        if (published) {
+            published();
+        }
     }
 
     /// Account `count` items lost to a worker exception; the first
@@ -161,11 +183,18 @@ struct job_channel {
     /// flag (matching the synchronous engine's first-error semantics).
     void fail_items(std::size_t count, std::exception_ptr exception) {
         cancel_requested.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!error) {
-            error = std::move(exception);
+        std::function<void()> published;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error) {
+                error = std::move(exception);
+            }
+            account(count);
+            published = on_published;
         }
-        account(count);
+        if (published) {
+            published();
+        }
     }
 
 private:
@@ -251,6 +280,26 @@ public:
         return ch.error;
     }
 
+    /// Register a notifier that fires AFTER a publication becomes
+    /// visible: new items reached the stream, or the job flipped to a
+    /// terminal state (including cancel-skip and worker-failure
+    /// accounting).  This is the signal an event-driven consumer sleeps
+    /// on -- unlike the per-item on_item callback, which by contract runs
+    /// BEFORE its item is pullable, a wake delivered from here never
+    /// races ahead of the state it advertises.  Fires at least once per
+    /// publication event; spurious extra calls are allowed.  Runs on
+    /// worker threads without the channel lock, so it may probe this
+    /// handle freely but must be cheap and must not throw.
+    ///
+    /// Fire-and-probe contract: only publications AFTER registration are
+    /// covered -- register, then probe once for anything that landed
+    /// earlier.
+    void set_published_callback(std::function<void()> callback) {
+        auto& ch = channel();
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.on_published = std::move(callback);
+    }
+
     /// Request cooperative cancellation: tasks not yet started are
     /// skipped; items already in flight finish normally and still reach
     /// the stream.  Idempotent, safe from any thread (including an
@@ -313,6 +362,26 @@ public:
         const std::size_t index = ordered_next_++;
         return streamed_item{index, ch.results[index]};
     }
+
+    /// Non-blocking next_in_order(): the cursor's item when it has already
+    /// completed, nullopt otherwise.  A nullopt alone does not distinguish
+    /// "not computed yet" from "will never complete" -- an event-driven
+    /// consumer (the service daemon's session loop, which must never block
+    /// on one client's job) combines it with finished(): once the job is
+    /// terminal and try_next_in_order() still returns nullopt, the cursor
+    /// sits on a hole and no further in-order item will ever arrive.
+    std::optional<streamed_item> try_next_in_order() {
+        auto& ch = channel();
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        if (ordered_next_ >= ch.results.size() || !ch.item_completed[ordered_next_]) {
+            return std::nullopt;
+        }
+        const std::size_t index = ordered_next_++;
+        return streamed_item{index, ch.results[index]};
+    }
+
+    /// Items this handle's in-order cursor has already delivered.
+    std::size_t in_order_delivered() const noexcept { return ordered_next_; }
 
     /// Wait, then return the full result vector in item order.  Rethrows
     /// the first worker exception of a failed job; throws
@@ -406,6 +475,23 @@ private:
     job_handle<R> handle_;
 };
 
+/// How a pool's workers pick the next task when several jobs have
+/// unclaimed work.  Scheduling only reorders *when* an item is computed,
+/// never what it computes (seeds derive from item indices), so every
+/// schedule yields bit-identical results.
+enum class job_schedule {
+    /// Drain jobs in submission order: all of job 0's tasks are claimed
+    /// before job 1's first.  Lowest single-job latency -- the right shape
+    /// for a batch tool that submits one lot and waits.
+    fifo,
+    /// Rotate one task at a time across every job with unclaimed work:
+    /// N concurrent jobs each make continuous progress instead of queueing
+    /// behind the earliest submission.  This is the fairness the screening
+    /// service needs -- a million-die lot must not starve the two-die
+    /// probe job submitted after it.
+    round_robin,
+};
+
 /// One thread pool, many concurrent jobs.  Workers are spawned lazily on
 /// the first submission and joined by the destructor; destroying the queue
 /// cancels jobs still pending (their handles finish in state `cancelled`),
@@ -416,7 +502,8 @@ public:
     /// unlike the old inline batch loop, threads = 1 still runs work on
     /// one pool worker (the caller's thread must stay free to consume the
     /// stream) -- results are bit-identical either way.
-    explicit job_queue(std::size_t threads = 0);
+    explicit job_queue(std::size_t threads = 0,
+                       job_schedule schedule = job_schedule::fifo);
     ~job_queue();
 
     job_queue(const job_queue&) = delete;
@@ -424,6 +511,9 @@ public:
 
     /// Worker count (the resolved value, never 0).
     std::size_t threads() const noexcept { return threads_; }
+
+    /// The task-claim policy this pool was built with.
+    job_schedule schedule() const noexcept { return schedule_; }
 
     /// Jobs submitted over the queue's lifetime.
     std::size_t jobs_submitted() const;
@@ -440,14 +530,21 @@ public:
     /// parallel and must depend only on the item indices (that is what
     /// makes the job's results completion-order independent).  Everything
     /// the job needs must be owned by (or outlive) the closure.
+    ///
+    /// `on_published` -- if set -- is the post-publish notifier (see
+    /// job_handle::set_published_callback); registering it here closes the
+    /// fire-and-probe gap entirely, since it is installed before any task
+    /// can run.
     template <typename R, typename GroupFn>
     job_handle<R> submit(std::size_t item_count, std::size_t group_size, GroupFn group_fn,
-                         typename job_handle<R>::item_callback on_item = nullptr) {
+                         typename job_handle<R>::item_callback on_item = nullptr,
+                         std::function<void()> on_published = nullptr) {
         BISTNA_EXPECTS(item_count > 0, "job must contain at least one item");
         const std::size_t group = std::max<std::size_t>(1, group_size);
 
         auto channel = std::make_shared<detail::job_channel<R>>(item_count);
         channel->on_item = std::move(on_item);
+        channel->on_published = std::move(on_published);
 
         auto record = std::make_shared<detail::job_record>();
         record->task_count = (item_count + group - 1) / group;
@@ -487,11 +584,13 @@ private:
     void worker_loop(std::size_t worker_index);
 
     const std::size_t threads_;
+    const job_schedule schedule_;
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;
     std::deque<std::shared_ptr<detail::job_record>> jobs_; ///< with unclaimed tasks
     std::vector<std::thread> workers_;                     ///< spawned lazily
     std::size_t submitted_ = 0;
+    std::size_t rr_cursor_ = 0; ///< round_robin: next job index to claim from
     bool stopping_ = false;
 };
 

@@ -312,7 +312,8 @@ struct screening_job {
 job_handle<screening_report>
 sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
                                std::uint64_t first_seed, const screening_options& screening,
-                               job_handle<screening_report>::item_callback on_report) {
+                               job_handle<screening_report>::item_callback on_report,
+                               std::function<void()> on_published) {
     BISTNA_EXPECTS(dice > 0, "batch must contain at least one die");
     BISTNA_EXPECTS(!mask.limits.empty(), "spec mask has no limits");
 
@@ -329,7 +330,7 @@ sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
                 screen_group(job->mask, job->screening, job->first_seed + first, count, out,
                              progress);
             },
-            std::move(on_report));
+            std::move(on_report), std::move(on_published));
     }
     return queue_->submit<screening_report>(
         dice, 1,
@@ -348,7 +349,7 @@ sweep_engine::submit_screening(const spec_mask& mask, std::size_t dice,
                 progress.items_done();
             }
         },
-        std::move(on_report));
+        std::move(on_report), std::move(on_published));
 }
 
 std::vector<screening_report> sweep_engine::screen_batch(const spec_mask& mask,
@@ -722,7 +723,8 @@ struct acquisition_job {
 job_handle<sweep_engine::acquisition_result>
 sweep_engine::submit_acquisition(std::vector<acquisition_item> items,
                                  acquisition_program program,
-                                 job_handle<acquisition_result>::item_callback on_result) {
+                                 job_handle<acquisition_result>::item_callback on_result,
+                                 std::function<void()> on_published) {
     BISTNA_EXPECTS(!items.empty(), "acquisition batch must contain at least one item");
     BISTNA_EXPECTS(!program.frequencies.empty(),
                    "acquisition program must measure at least one frequency");
@@ -739,7 +741,7 @@ sweep_engine::submit_acquisition(std::vector<acquisition_item> items,
                               job->shared_records);
                 progress.items_done(n);
             },
-            std::move(on_result));
+            std::move(on_result), std::move(on_published));
     }
     return queue_->submit<acquisition_result>(
         count, 1,
@@ -751,7 +753,7 @@ sweep_engine::submit_acquisition(std::vector<acquisition_item> items,
                 progress.items_done();
             }
         },
-        std::move(on_result));
+        std::move(on_result), std::move(on_published));
 }
 
 std::vector<sweep_engine::acquisition_result> sweep_engine::acquire(

@@ -243,17 +243,22 @@ public:
                 job_handle<frequency_point>::item_callback on_point = nullptr);
 
     /// Screening lot: item i is the report of die seed first_seed + i.
+    /// `on_published` is the post-publish notifier, installed before any
+    /// work runs (see job_handle::set_published_callback).
     job_handle<screening_report>
     submit_screening(const spec_mask& mask, std::size_t dice, std::uint64_t first_seed = 1,
                      const screening_options& screening = {},
-                     job_handle<screening_report>::item_callback on_report = nullptr);
+                     job_handle<screening_report>::item_callback on_report = nullptr,
+                     std::function<void()> on_published = nullptr);
 
     /// Generic lockstep acquisition: item i is items[i] run through the
     /// program.  The items (and their board factories) are owned by the
-    /// job, so the caller may drop its copies immediately.
+    /// job, so the caller may drop its copies immediately.  `on_published`
+    /// as in submit_screening.
     job_handle<acquisition_result>
     submit_acquisition(std::vector<acquisition_item> items, acquisition_program program,
-                       job_handle<acquisition_result>::item_callback on_result = nullptr);
+                       job_handle<acquisition_result>::item_callback on_result = nullptr,
+                       std::function<void()> on_published = nullptr);
 
     /// Worker count a batch will actually use (the shared or private
     /// pool's thread count).

@@ -99,10 +99,16 @@ diagnosis classifier::classify(std::span<const double> signature) const {
         result.ranked.push_back(best);
     }
 
-    std::stable_sort(result.ranked.begin(), result.ranked.end(),
-                     [](const fault_hypothesis& a, const fault_hypothesis& b) {
-                         return a.distance < b.distance;
-                     });
+    // Ties break on the unique trajectory index, which equals the insertion
+    // order here -- the same result a stable sort by distance would give,
+    // without the temporary buffer.
+    std::sort(result.ranked.begin(), result.ranked.end(),
+              [](const fault_hypothesis& a, const fault_hypothesis& b) {
+                  if (a.distance != b.distance) {
+                      return a.distance < b.distance;
+                  }
+                  return a.trajectory_index < b.trajectory_index;
+              });
 
     if (!result.ranked.empty()) {
         const double cutoff = result.ranked.front().distance * options_.ambiguity_ratio +

@@ -69,20 +69,10 @@ void walk_object(const json_value& v, const std::string& what, Handler&& handler
     }
 }
 
-/// Doubles round-trip through shortest-exact formatting; integers print
-/// plainly so seeds stay readable.
-std::string json_number(double v) {
-    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
-        std::ostringstream out;
-        out.precision(17);
-        out << static_cast<long long>(v);
-        return out.str();
-    }
-    std::ostringstream out;
-    out.precision(17);
-    out << v;
-    return out.str();
-}
+// Number formatting goes through the shared locale-safe writer
+// (bistna::json_number, common/json.hpp): the former ostringstream
+// formatting here emitted "0,03" under a comma-decimal global locale --
+// invalid JSON that the strict parser then rejected on reload.
 
 const char* offset_name(eval::offset_mode mode) {
     switch (mode) {
@@ -251,7 +241,10 @@ std::string lot_manifest::to_json() const {
 }
 
 lot_manifest lot_manifest::from_json(std::string_view text) {
-    const json_value root = parse_json(text, "manifest JSON");
+    return from_value(parse_json(text, "manifest JSON"));
+}
+
+lot_manifest lot_manifest::from_value(const json_value& root) {
     lot_manifest manifest;
 
     walk_object(root, "manifest", [&](const std::string& key, const json_value& v) {

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
 #include "core/screening.hpp"
 #include "core/sweep_engine.hpp"
 #include "diag/fault_model.hpp"
@@ -98,6 +99,11 @@ struct lot_manifest {
     /// Strict parse: malformed JSON, unknown keys and out-of-domain values
     /// all throw configuration_error naming the problem.
     static lot_manifest from_json(std::string_view text);
+    /// The same strict schema applied to an already-parsed tree -- the
+    /// service daemon hands the "manifest" member of a submit frame
+    /// straight to this, so an offline shard lot and a submitted service
+    /// job are parsed by the identical code (one schema, by construction).
+    static lot_manifest from_value(const json_value& root);
 
     static lot_manifest load(const std::string& path);
     void save(const std::string& path) const;

@@ -11,12 +11,9 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
-#include "core/sweep_engine.hpp"
-#include "diag/fault_dictionary.hpp"
-#include "diag/trajectory_builder.hpp"
 #include "shard/event_log.hpp"
+#include "shard/unit_stream.hpp"
 #include "store/lot_store.hpp"
-#include "store/records.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/snapshot_record.hpp"
 #include "telemetry/span.hpp"
@@ -75,54 +72,17 @@ worker_shard_report run_worker_shard(const lot_manifest& manifest,
     stream_span.arg("first", static_cast<double>(options.first_unit));
     stream_span.arg("units", static_cast<double>(options.units));
 
-    if (manifest.workload == workload_kind::screening) {
-        core::sweep_engine engine(manifest.make_factory(), manifest.make_settings(),
-                                  manifest.make_engine_options());
-        auto handle = engine.submit_screening(
-            manifest.make_mask(), static_cast<std::size_t>(options.units),
-            manifest.first_seed + options.first_unit,
-            manifest.make_screening_options());
-        while (auto item = handle.next_in_order()) {
-            out.append(store::to_record(
-                item->value, manifest.record_id(options.first_unit + item->index)));
-            maybe_die();
-        }
-        if (auto error = handle.error()) {
-            std::rethrow_exception(error);
-        }
-    } else {
-        // The worker constructs the FULL deterministic plan and submits only
-        // its subrange: every item owns its global-index-derived evaluator
-        // seed and render key at construction, so a subrange acquisition is
-        // bit-identical per item to acquiring the whole list.
-        diag::trajectory_build_options build;
-        build.grid_points = manifest.grid_points;
-        build.nominal_seed = manifest.nominal_seed;
-        build.eval_seed_base = manifest.eval_seed_base;
-        const auto space = diag::signature_space::from_mask(
-            manifest.make_mask(), manifest.thd_max_harmonic);
-        diag::dictionary_plan plan =
-            diag::make_dictionary_plan(manifest.make_die_design(),
-                                       manifest.make_settings(), space,
-                                       diag::default_catalog(), build);
-
-        std::vector<core::sweep_engine::acquisition_item> slice(
-            std::make_move_iterator(plan.items.begin() + options.first_unit),
-            std::make_move_iterator(plan.items.begin() + options.first_unit +
-                                    options.units));
-        core::sweep_engine engine(manifest.make_die_design().factory(),
-                                  manifest.make_settings(),
-                                  manifest.make_engine_options());
-        auto handle =
-            engine.submit_acquisition(std::move(slice), std::move(plan.program));
-        while (auto item = handle.next_in_order()) {
-            out.append(store::to_record(
-                item->value, manifest.record_id(options.first_unit + item->index)));
-            maybe_die();
-        }
-        if (auto error = handle.error()) {
-            std::rethrow_exception(error);
-        }
+    // The same manifest -> in-order-record pipeline the screening service
+    // streams over its sockets (shard/unit_stream.hpp): one submission
+    // seam means the merge contract and the service's bit-identity
+    // guarantee are literally the same code.
+    unit_stream stream(manifest, options.first_unit, options.units);
+    while (auto item = stream.next()) {
+        out.append(item->record);
+        maybe_die();
+    }
+    if (auto error = stream.error()) {
+        std::rethrow_exception(error);
     }
 
     out.flush();

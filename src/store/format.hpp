@@ -55,6 +55,20 @@ enum class record_type : std::uint16_t {
     dictionary_header = 4, ///< fault-dictionary metadata (space, shape)
     dictionary_matrix = 5, ///< contiguous f64 block of all dictionary rows
     telemetry_snapshot = 6, ///< one process's telemetry snapshot (sidecar)
+
+    // Service control records (src/svc): the screening service speaks the
+    // same CRC-checked frame layout over its sockets that the store writes
+    // to disk, so one decoder serves both.  Control payloads are strict
+    // JSON (svc/protocol.hpp); svc_result wraps a data record above
+    // byte-for-byte, which is what makes a client-written store file
+    // bit-identical to the offline path's.
+    svc_hello = 7,    ///< server greeting: {"protocol", "server"}
+    svc_submit = 8,   ///< client job submission: {"request", "manifest"}
+    svc_progress = 9, ///< per-request progress: {"request", "completed", "total"}
+    svc_result = 10,  ///< one unit's result: ids + a wrapped data record
+    svc_error = 11,   ///< typed error: {"request", "code", "message", ["offset"]}
+    svc_cancel = 12,  ///< client cancel: {"request"}
+    svc_done = 13,    ///< terminal success: {"request", "units"}
 };
 
 /// One decoded frame: the type tag plus its raw payload bytes.

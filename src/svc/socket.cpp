@@ -1,0 +1,210 @@
+#include "svc/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace bistna::svc {
+
+void socket_fd::reset() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+    throw configuration_error("service socket: " + what + ": " +
+                              std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw configuration_error("service socket: unix path '" + path +
+                                  "' exceeds " +
+                                  std::to_string(sizeof(addr.sun_path) - 1) +
+                                  " bytes");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+} // namespace
+
+endpoint parse_endpoint(const std::string& text) {
+    if (text.empty()) {
+        throw configuration_error("service socket: empty endpoint");
+    }
+    endpoint ep;
+    if (text.rfind("tcp:", 0) == 0) {
+        ep.tcp = true;
+        const std::string digits = text.substr(4);
+        if (digits.empty()) {
+            throw configuration_error("service socket: endpoint '" + text +
+                                      "': missing port");
+        }
+        unsigned long port = 0;
+        for (const char c : digits) {
+            if (c < '0' || c > '9' || (port = port * 10 + (c - '0')) > 65535) {
+                throw configuration_error("service socket: endpoint '" + text +
+                                          "': port must be 0..65535");
+            }
+        }
+        ep.port = static_cast<std::uint16_t>(port);
+        return ep;
+    }
+    ep.path = text;
+    unix_address(text); // validates the length
+    return ep;
+}
+
+std::string endpoint_name(const endpoint& ep) {
+    return ep.tcp ? "tcp:" + std::to_string(ep.port) : ep.path;
+}
+
+socket_fd listen_unix(const std::string& path, int backlog) {
+    socket_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        sys_error("socket(AF_UNIX)");
+    }
+    const sockaddr_un addr = unix_address(path);
+    ::unlink(path.c_str()); // a stale socket file from a dead daemon
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        sys_error("bind('" + path + "')");
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        sys_error("listen('" + path + "')");
+    }
+    set_nonblocking(fd.get());
+    return fd;
+}
+
+socket_fd listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                              int backlog) {
+    socket_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        sys_error("socket(AF_INET)");
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = loopback_address(port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        sys_error("bind(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        sys_error("listen(tcp)");
+    }
+    if (bound_port != nullptr) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof(actual);
+        if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+            sys_error("getsockname");
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    set_nonblocking(fd.get());
+    return fd;
+}
+
+socket_fd connect_endpoint(const endpoint& ep) {
+    if (ep.tcp) {
+        socket_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!fd.valid()) {
+            sys_error("socket(AF_INET)");
+        }
+        const sockaddr_in addr = loopback_address(ep.port);
+        if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            sys_error("connect(" + endpoint_name(ep) + ")");
+        }
+        const int one = 1;
+        ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return fd;
+    }
+    socket_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        sys_error("socket(AF_UNIX)");
+    }
+    const sockaddr_un addr = unix_address(ep.path);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        sys_error("connect('" + ep.path + "')");
+    }
+    return fd;
+}
+
+socket_fd accept_nonblocking(int listener_fd) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+        return socket_fd(); // EAGAIN/EWOULDBLOCK or a vanished peer
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return socket_fd(fd);
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        sys_error("fcntl(O_NONBLOCK)");
+    }
+}
+
+long send_some(int fd, const std::uint8_t* data, std::size_t size) noexcept {
+    for (;;) {
+        const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n >= 0) {
+            return static_cast<long>(n);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return 0;
+        }
+        return -1;
+    }
+}
+
+long recv_some(int fd, std::uint8_t* data, std::size_t size) noexcept {
+    for (;;) {
+        const ssize_t n = ::recv(fd, data, size, 0);
+        if (n > 0) {
+            return static_cast<long>(n);
+        }
+        if (n == 0) {
+            return -1; // orderly EOF
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return 0;
+        }
+        return -1;
+    }
+}
+
+} // namespace bistna::svc

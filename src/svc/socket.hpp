@@ -1,0 +1,84 @@
+// Thin POSIX socket wrappers for the screening service: RAII fds, Unix
+// domain + TCP loopback listeners/connectors and an endpoint grammar
+// shared by --listen/--connect.
+//
+//   endpoint := "tcp:PORT"           loopback TCP (127.0.0.1), PORT 0 asks
+//                                    the kernel for an ephemeral port
+//            |  PATH                 Unix domain socket at PATH
+//
+// Only loopback TCP is offered deliberately: the daemon has no auth layer,
+// so binding a routable interface would be an open screening endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace bistna::svc {
+
+/// Move-only owning fd (closed on destruction).
+class socket_fd {
+public:
+    socket_fd() = default;
+    explicit socket_fd(int fd) : fd_(fd) {}
+    ~socket_fd() { reset(); }
+
+    socket_fd(socket_fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    socket_fd& operator=(socket_fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+    socket_fd(const socket_fd&) = delete;
+    socket_fd& operator=(const socket_fd&) = delete;
+
+    int get() const noexcept { return fd_; }
+    bool valid() const noexcept { return fd_ >= 0; }
+    int release() noexcept { return std::exchange(fd_, -1); }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// A parsed --listen/--connect endpoint.
+struct endpoint {
+    bool tcp = false;
+    std::string path;        ///< unix socket path (tcp == false)
+    std::uint16_t port = 0;  ///< loopback port (tcp == true)
+};
+
+/// Parse the endpoint grammar above; throws configuration_error on an
+/// empty path, a malformed port, or an over-long unix path (sun_path is
+/// 107 bytes).
+endpoint parse_endpoint(const std::string& text);
+
+/// Human-readable endpoint ("tcp:9042" / "/run/bistna.sock").
+std::string endpoint_name(const endpoint& ep);
+
+/// Bind + listen.  The unix variant unlinks a stale socket file first;
+/// the tcp variant binds 127.0.0.1 and reports the actual port (ephemeral
+/// binds resolve here).  Throws configuration_error on failure.
+socket_fd listen_unix(const std::string& path, int backlog = 64);
+socket_fd listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                              int backlog = 64);
+
+/// Blocking connect; throws configuration_error on failure.
+socket_fd connect_endpoint(const endpoint& ep);
+
+/// Accept one pending connection, already nonblocking; invalid socket_fd
+/// when the listener has none (EAGAIN).
+socket_fd accept_nonblocking(int listener_fd);
+
+void set_nonblocking(int fd);
+
+/// send() with MSG_NOSIGNAL semantics: bytes written, 0 on EAGAIN, -1 on
+/// a dead peer/socket error (never raises SIGPIPE).
+long send_some(int fd, const std::uint8_t* data, std::size_t size) noexcept;
+
+/// recv(): bytes read, 0 on EAGAIN, -1 on EOF or a socket error.
+long recv_some(int fd, std::uint8_t* data, std::size_t size) noexcept;
+
+} // namespace bistna::svc

@@ -94,6 +94,61 @@ TEST(JobQueue, CallbackSeesEveryItemBeforeItIsPulled) {
     EXPECT_EQ(called.size(), 12u);
 }
 
+TEST(JobQueue, PublishedCallbackNeverRacesAheadOfVisibility) {
+    job_queue queue(2);
+    std::atomic<bool> gate{false};
+    // Gate every group so nothing publishes before the callback is
+    // registered (set_published_callback only covers later publications).
+    auto handle = queue.submit<int>(
+        10, 3,
+        [&](std::size_t first, std::size_t count, int* out) {
+            while (!gate.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            for (std::size_t l = 0; l < count; ++l) {
+                out[l] = item_value(first + l);
+            }
+        });
+
+    std::atomic<std::size_t> wakes{0};
+    std::atomic<std::size_t> max_visible{0};
+    std::atomic<bool> terminal_seen{false};
+    handle.set_published_callback([&] {
+        // Post-publish contract: whatever this wake advertises is already
+        // observable -- including the terminal flip of the last group.
+        const std::size_t visible = handle.completed_items();
+        std::size_t prev = max_visible.load();
+        while (prev < visible && !max_visible.compare_exchange_weak(prev, visible)) {
+        }
+        if (handle.finished()) {
+            terminal_seen.store(true, std::memory_order_release);
+        }
+        wakes.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    gate.store(true, std::memory_order_release);
+    handle.wait();
+    // The wake for the final publication fires after wait() can already
+    // return; give it a beat, then it MUST have observed the terminal
+    // state -- this is exactly the lost-wakeup an event loop dies on.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while ((!terminal_seen.load(std::memory_order_acquire) || max_visible.load() < 10) &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(terminal_seen.load());
+    EXPECT_EQ(max_visible.load(), 10u);
+    EXPECT_GE(wakes.load(), 1u);
+
+    // An event-driven consumer woken by the last callback drains the
+    // whole job without ever blocking.
+    for (std::size_t i = 0; i < 10; ++i) {
+        auto item = handle.try_next_in_order();
+        ASSERT_TRUE(item.has_value()) << "item " << i << " not visible after the wake";
+        EXPECT_EQ(item->value, item_value(i));
+    }
+}
+
 TEST(JobQueue, ConcurrentJobsShareOnePool) {
     job_queue queue(4);
     auto a = submit_squares(queue, 20, 2);
@@ -468,6 +523,108 @@ TEST(JobQueue, ScreeningWorkerExceptionSurfacesThroughTheStream) {
     }
     EXPECT_EQ(handle.state(), job_state::failed);
     EXPECT_THROW(handle.results(), configuration_error);
+}
+
+// --- scheduling fairness ---------------------------------------------------
+
+/// Submit a job whose tasks append `label` to a shared order log; task 0
+/// optionally parks the worker until `gate` opens, so concurrent jobs can
+/// be staged before any claims happen.
+job_handle<int> submit_labelled(job_queue& queue, std::size_t items, char label,
+                                std::mutex& mutex, std::vector<char>& order,
+                                std::atomic<bool>* gate = nullptr) {
+    return queue.submit<int>(items, 1,
+                             [&, label, gate](std::size_t first, std::size_t, int* out) {
+                                 if (gate != nullptr && first == 0) {
+                                     while (!gate->load(std::memory_order_acquire)) {
+                                         std::this_thread::sleep_for(
+                                             std::chrono::milliseconds(1));
+                                     }
+                                 }
+                                 {
+                                     std::lock_guard<std::mutex> lock(mutex);
+                                     order.push_back(label);
+                                 }
+                                 out[0] = 0;
+                             });
+}
+
+TEST(JobQueue, FifoScheduleRunsJobsBackToBack) {
+    job_queue queue(1, core::job_schedule::fifo);
+    EXPECT_EQ(queue.schedule(), core::job_schedule::fifo);
+    std::mutex mutex;
+    std::vector<char> order;
+    std::atomic<bool> gate{false};
+    auto a = submit_labelled(queue, 4, 'A', mutex, order, &gate);
+    auto b = submit_labelled(queue, 4, 'B', mutex, order);
+    gate.store(true, std::memory_order_release);
+    (void)a.results();
+    (void)b.results();
+    EXPECT_EQ(std::string(order.begin(), order.end()), "AAAABBBB");
+}
+
+TEST(JobQueue, RoundRobinScheduleInterleavesConcurrentJobs) {
+    // One worker makes the claim order fully observable: task 0 of A
+    // parks it until both jobs are queued, then round-robin must
+    // alternate A/B claims instead of draining A first.
+    job_queue queue(1, core::job_schedule::round_robin);
+    EXPECT_EQ(queue.schedule(), core::job_schedule::round_robin);
+    std::mutex mutex;
+    std::vector<char> order;
+    std::atomic<bool> gate{false};
+    auto a = submit_labelled(queue, 6, 'A', mutex, order, &gate);
+    auto b = submit_labelled(queue, 6, 'B', mutex, order);
+    gate.store(true, std::memory_order_release);
+    (void)a.results();
+    (void)b.results();
+    EXPECT_EQ(std::string(order.begin(), order.end()), "ABABABABABAB");
+}
+
+TEST(JobQueue, RoundRobinStaysFairAsJobsComeAndGo) {
+    // A short job among long ones: once it drains, the rotation continues
+    // over the survivors without skipping or double-serving anyone.
+    job_queue queue(1, core::job_schedule::round_robin);
+    std::mutex mutex;
+    std::vector<char> order;
+    std::atomic<bool> gate{false};
+    auto a = submit_labelled(queue, 5, 'A', mutex, order, &gate);
+    auto b = submit_labelled(queue, 2, 'B', mutex, order);
+    auto c = submit_labelled(queue, 5, 'C', mutex, order);
+    gate.store(true, std::memory_order_release);
+    (void)a.results();
+    (void)b.results();
+    (void)c.results();
+    EXPECT_EQ(std::string(order.begin(), order.end()), "ABCABCACACAC");
+}
+
+TEST(JobQueue, TryNextInOrderNeverBlocks) {
+    job_queue queue(2);
+    std::atomic<bool> gate{false};
+    auto handle = queue.submit<int>(4, 1, [&](std::size_t first, std::size_t, int* out) {
+        while (!gate.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        out[0] = item_value(first);
+    });
+    // Nothing has completed: the non-blocking probe reports "not yet"
+    // instead of parking the caller.
+    EXPECT_FALSE(handle.try_next_in_order().has_value());
+    EXPECT_FALSE(handle.finished());
+    gate.store(true, std::memory_order_release);
+    std::size_t delivered = 0;
+    while (delivered < 4) {
+        if (auto item = handle.try_next_in_order()) {
+            EXPECT_EQ(item->index, delivered);
+            EXPECT_EQ(item->value, item_value(item->index));
+            ++delivered;
+        } else {
+            // Not ready yet (or the publish/terminal-flip race): probing
+            // again is always safe -- the call never blocks.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+    EXPECT_EQ(handle.in_order_delivered(), 4u);
+    EXPECT_FALSE(handle.try_next_in_order().has_value());
 }
 
 } // namespace

@@ -146,7 +146,9 @@ TEST(TelemetryMetrics, HistogramBucketBoundariesAreExact) {
         telemetry::histogram_record(histogram, 1023); // bucket 10
         telemetry::histogram_record(histogram, 1024); // bucket 11
     }
-    const auto* hist = registry.snapshot().find_histogram("test.buckets.hist");
+    // The snapshot must outlive the pointer find_histogram returns into it.
+    const auto snap = registry.snapshot();
+    const auto* hist = snap.find_histogram("test.buckets.hist");
     ASSERT_NE(hist, nullptr);
     EXPECT_EQ(hist->count, 7u);
     EXPECT_EQ(hist->sum, 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
